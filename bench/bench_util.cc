@@ -1,0 +1,45 @@
+#include "bench/bench_util.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace dpack::bench {
+
+Scale ParseScale(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      return Scale::kQuick;
+    }
+    if (std::strcmp(argv[i], "--full") == 0) {
+      return Scale::kFull;
+    }
+  }
+  return Scale::kDefault;
+}
+
+double ScaleFactor(Scale scale) {
+  switch (scale) {
+    case Scale::kQuick:
+      return 0.25;
+    case Scale::kDefault:
+      return 1.0;
+    case Scale::kFull:
+      return 4.0;
+  }
+  return 1.0;
+}
+
+const CurvePool& SharedPool() {
+  static const CurvePool* pool = new CurvePool(
+      AlphaGrid::Default(), BlockCapacityCurve(AlphaGrid::Default(), kEpsG, kDeltaG));
+  return *pool;
+}
+
+void Banner(const std::string& experiment, const std::string& paper_reference) {
+  std::printf("\n================================================================\n");
+  std::printf("%s  (%s)\n", experiment.c_str(), paper_reference.c_str());
+  std::printf("================================================================\n");
+  std::fflush(stdout);
+}
+
+}  // namespace dpack::bench

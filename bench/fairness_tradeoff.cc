@@ -1,0 +1,62 @@
+// §6.3 efficiency-fairness trade-off reproduction: Alibaba-DP with the DPF fair share set
+// to 1/50 of the epsilon-normalized block budget.
+// Paper: 41% of submitted tasks qualify as fair-share; DPF's allocation is 90% fair-share
+// tasks, DPack's only 60% — but DPack allocates 45% more tasks.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace dpack::bench {
+namespace {
+
+void Run(Scale scale) {
+  double f = ScaleFactor(scale);
+  size_t num_tasks = static_cast<size_t>(15000 * f);
+  const size_t num_blocks = 90;
+
+  AlibabaConfig config;
+  config.num_tasks = num_tasks;
+  config.arrival_span = static_cast<double>(num_blocks);
+  config.seed = 11;
+  std::vector<Task> tasks = GenerateAlibabaDp(SharedPool(), config);
+
+  CsvTable table({"scheduler", "allocated", "fair_share_fraction_of_allocated",
+                  "submitted_fair_share_fraction"});
+  size_t dpack_allocated = 0;
+  size_t dpf_allocated = 0;
+  for (SchedulerKind kind : {SchedulerKind::kDpack, SchedulerKind::kDpf}) {
+    SimConfig sim;
+    sim.num_blocks = num_blocks;
+    sim.unlock_steps = 50;
+    sim.fair_share_n = 50;
+    SimResult result = RunOnlineSimulation(CreateScheduler(kind), tasks, sim);
+    if (kind == SchedulerKind::kDpack) {
+      dpack_allocated = result.metrics.allocated();
+    } else {
+      dpf_allocated = result.metrics.allocated();
+    }
+    table.NewRow()
+        .Add(SchedulerKindName(kind))
+        .Add(result.metrics.allocated())
+        .Add(result.metrics.AllocatedFairShareFraction())
+        .Add(static_cast<double>(result.metrics.submitted_fair_share()) /
+             static_cast<double>(result.metrics.submitted()));
+  }
+  table.Print("Efficiency-fairness trade-off (fair share = 1/50)");
+  std::printf("\nDPack allocates %.0f%% more tasks than DPF (paper: +45%%) while a smaller\n"
+              "fraction of its grants are fair-share tasks (paper: 60%% vs 90%%).\n",
+              100.0 * (static_cast<double>(dpack_allocated) /
+                           static_cast<double>(dpf_allocated) -
+                       1.0));
+}
+
+}  // namespace
+}  // namespace dpack::bench
+
+int main(int argc, char** argv) {
+  using namespace dpack::bench;
+  Banner("Efficiency-fairness trade-off on Alibaba-DP", "paper §6.3");
+  Run(ParseScale(argc, argv));
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Fig. 5 reproduction (Q2): scheduler runtime (a) and efficiency (b) under increasing load,
+// single-threaded, offline. Microbenchmark with sigma_alpha = 4, mu_blocks = 1,
+// sigma_blocks = 10, eps_min = 0.01, 7 available blocks.
+// Expected shape: Optimal hits a tractability wall after a few hundred tasks (the paper
+// stops its line at 200 because Gurobi "never finishes"); DPack runs slightly slower than
+// DPF (it solves single-block knapsacks) but both stay practical; DPack matches Optimal
+// while it lasts and plateaus as the task pool saturates.
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+
+namespace dpack::bench {
+namespace {
+
+struct RunOutcome {
+  size_t allocated = 0;
+  double seconds = 0.0;
+  bool proven_optimal = true;
+};
+
+RunOutcome RunOne(SchedulerKind kind, const std::vector<Task>& tasks, double time_limit) {
+  SimConfig sim;
+  sim.num_blocks = 7;
+  PkOptions options;
+  options.time_limit_seconds = time_limit;
+  std::unique_ptr<Scheduler> scheduler = CreateScheduler(kind, 0.05, options);
+  auto start = std::chrono::steady_clock::now();
+  SimResult result = RunOfflineSchedule(*scheduler, tasks, sim);
+  RunOutcome outcome;
+  outcome.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  outcome.allocated = result.metrics.allocated();
+  if (auto* optimal = dynamic_cast<OptimalScheduler*>(scheduler.get())) {
+    outcome.proven_optimal = optimal->last_solve_optimal();
+  }
+  return outcome;
+}
+
+void Run(Scale scale) {
+  double f = ScaleFactor(scale);
+  const double optimal_time_limit = 20.0;
+  // Optimal is dropped from the sweep once it fails to prove optimality in the time limit,
+  // mirroring the paper's "its execution never finishes" cutoff at 200 tasks.
+  bool optimal_alive = true;
+
+  CsvTable table({"submitted", "Optimal_alloc", "DPack_alloc", "DPF_alloc", "Optimal_s",
+                  "DPack_s", "DPF_s"});
+  for (size_t n : {50, 100, 200, 500, 1000, 2000, 5000}) {
+    size_t num_tasks = static_cast<size_t>(static_cast<double>(n) * f);
+    if (num_tasks == 0) {
+      continue;
+    }
+    MicrobenchmarkConfig config;
+    config.num_tasks = num_tasks;
+    config.num_blocks = 7;
+    config.mu_blocks = 1.0;
+    config.sigma_blocks = 10.0;
+    config.sigma_alpha = 4.0;
+    config.eps_min = 0.01;
+    config.seed = 7;
+    std::vector<Task> tasks = GenerateMicrobenchmark(SharedPool(), config);
+
+    RunOutcome dpack = RunOne(SchedulerKind::kDpack, tasks, optimal_time_limit);
+    RunOutcome dpf = RunOne(SchedulerKind::kDpf, tasks, optimal_time_limit);
+    RunOutcome optimal;
+    std::string optimal_alloc = "-";
+    std::string optimal_seconds = "-";
+    if (optimal_alive) {
+      optimal = RunOne(SchedulerKind::kOptimal, tasks, optimal_time_limit);
+      if (optimal.proven_optimal) {
+        optimal_alloc = std::to_string(optimal.allocated);
+        optimal_seconds = FormatDouble(optimal.seconds);
+      } else {
+        optimal_alloc = "timeout";
+        optimal_seconds = ">" + FormatDouble(optimal_time_limit);
+        optimal_alive = false;  // The intractability wall: stop the line here.
+      }
+    }
+    table.NewRow()
+        .Add(num_tasks)
+        .Add(optimal_alloc)
+        .Add(dpack.allocated)
+        .Add(dpf.allocated)
+        .Add(optimal_seconds)
+        .Add(dpack.seconds)
+        .Add(dpf.seconds);
+  }
+  table.Print("Fig. 5: allocated tasks and scheduler runtime vs offered load (7 blocks)");
+}
+
+}  // namespace
+}  // namespace dpack::bench
+
+int main(int argc, char** argv) {
+  using namespace dpack::bench;
+  Banner("Fig. 5: scalability under increasing load", "paper §6.2, Q2");
+  Run(ParseScale(argc, argv));
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Fairness report: quantify the efficiency-fairness trade-off (§6.3) on a workload of your
+// chosen size. For each policy, prints total grants, the fair-share composition of the
+// grants, and how many fair-share tasks were left stranded — the quantities behind the
+// paper's "DPF allocates 90% fair-share tasks, DPack 60%, but DPack allocates 45% more".
+//
+// Build & run:  ./build/examples/fairness_report [num_tasks]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/dpack/dpack.h"
+
+using namespace dpack;  // Example code; the library itself never does this.
+
+int main(int argc, char** argv) {
+  size_t num_tasks = argc > 1 ? static_cast<size_t>(std::atoi(argv[1])) : 8000;
+  const size_t num_blocks = 60;
+  const int64_t fair_share_n = 50;
+
+  AlphaGridPtr grid = AlphaGrid::Default();
+  CurvePool pool(grid, BlockCapacityCurve(grid, 10.0, 1e-7));
+  AlibabaConfig config;
+  config.num_tasks = num_tasks;
+  config.arrival_span = static_cast<double>(num_blocks);
+  config.seed = 5;
+  std::vector<Task> tasks = GenerateAlibabaDp(pool, config);
+
+  std::printf("Fairness report: %zu tasks, %zu blocks, fair share = 1/%lld of block budget.\n\n",
+              num_tasks, num_blocks, static_cast<long long>(fair_share_n));
+  std::printf("%-8s %10s %18s %22s\n", "policy", "allocated", "fair-share grants",
+              "stranded fair-share");
+  size_t submitted_fair = 0;
+  for (SchedulerKind kind : {SchedulerKind::kDpack, SchedulerKind::kDpf,
+                             SchedulerKind::kFcfs}) {
+    SimConfig sim;
+    sim.num_blocks = num_blocks;
+    sim.unlock_steps = 50;
+    sim.fair_share_n = fair_share_n;
+    SimResult result = RunOnlineSimulation(CreateScheduler(kind), tasks, sim);
+    const AllocationMetrics& m = result.metrics;
+    submitted_fair = m.submitted_fair_share();
+    std::printf("%-8s %10zu %13zu (%2.0f%%) %22zu\n", SchedulerKindName(kind).c_str(),
+                m.allocated(), m.allocated_fair_share(),
+                100.0 * m.AllocatedFairShareFraction(),
+                m.submitted_fair_share() - m.allocated_fair_share());
+  }
+  std::printf("\n(%zu of %zu submitted tasks qualify as fair-share.)\n", submitted_fair,
+              num_tasks);
+  std::printf("Efficiency costs fairness: DPack grants more tasks overall but a smaller share\n"
+              "of them are the small 'fair share' tasks DPF is designed to protect.\n");
+  return 0;
+}

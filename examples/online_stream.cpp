@@ -1,0 +1,77 @@
+// Online stream: the §3.4 operational model on a small synthetic stream.
+//
+// A new data block arrives every virtual day; a mixed workload of statistics and trainings
+// arrives over time requesting the most recent blocks; budget unlocks in 1/N steps; a batch
+// scheduler runs every T. Compares DPack, DPF, and FCFS end to end and prints the metrics a
+// cluster operator would watch.
+//
+// Build & run:  ./build/examples/online_stream
+
+#include <cstdio>
+
+#include "src/dpack/dpack.h"
+
+using namespace dpack;  // Example code; the library itself never does this.
+
+namespace {
+
+std::vector<Task> MakeStreamWorkload() {
+  AlphaGridPtr grid = AlphaGrid::Default();
+  Rng rng(2024);
+  std::vector<Task> tasks;
+  TaskId next_id = 0;
+  // 15 virtual days; ~30 tasks arrive per day.
+  for (int day = 0; day < 15; ++day) {
+    for (int k = 0; k < 30; ++k) {
+      bool training = rng.Bernoulli(0.3);
+      RdpCurve demand =
+          training
+              ? SubsampledGaussianCurve(grid, rng.Uniform(1.0, 2.0), 0.01).Repeat(800)
+              : LaplaceCurve(grid, rng.Uniform(6.0, 30.0));
+      // Scale demand to a normalized size: trainings are big (5-20% of a block), statistics
+      // small (0.5-3%).
+      RdpCurve capacity = BlockCapacityCurve(grid, 10.0, 1e-7);
+      double min_share = 1e300;
+      for (size_t a = 0; a < grid->size(); ++a) {
+        if (capacity.epsilon(a) > 0.0) {
+          min_share = std::min(min_share, demand.epsilon(a) / capacity.epsilon(a));
+        }
+      }
+      double target = training ? rng.Uniform(0.10, 0.35) : rng.Uniform(0.01, 0.08);
+      Task task(next_id++, /*weight=*/1.0, demand.Scaled(target / min_share));
+      task.arrival_time = day + rng.Uniform(0.0, 1.0);
+      task.num_recent_blocks = training ? static_cast<size_t>(rng.UniformInt(3, 8)) : 1;
+      tasks.push_back(std::move(task));
+    }
+  }
+  return tasks;
+}
+
+}  // namespace
+
+int main() {
+  std::vector<Task> tasks = MakeStreamWorkload();
+  std::printf("Online stream: 15 daily blocks at (eps=10, delta=1e-7), %zu tasks, T=1, N=10.\n\n",
+              tasks.size());
+  std::printf("%-8s %10s %10s %12s %14s\n", "policy", "allocated", "pending", "median_delay",
+              "runtime_ms");
+  for (SchedulerKind kind : {SchedulerKind::kDpack, SchedulerKind::kDpf,
+                             SchedulerKind::kFcfs}) {
+    SimConfig config;
+    config.num_blocks = 15;
+    config.unlock_steps = 10;
+    config.period = 1.0;
+    SimResult result = RunOnlineSimulation(CreateScheduler(kind), tasks, config);
+    const AllocationMetrics& m = result.metrics;
+    std::printf("%-8s %10zu %10zu %12.2f %14.3f\n", SchedulerKindName(kind).c_str(),
+                m.allocated(), result.pending_at_end,
+                m.delays().count() > 0 ? m.delays().median() : 0.0,
+                1000.0 * m.total_runtime_seconds());
+  }
+  std::printf(
+      "\nOn a small, mildly heterogeneous stream the policies end up close (the Fig. 7(a)\n"
+      "regime); the gaps open with workload heterogeneity and scale — see alibaba_sim and\n"
+      "the bench/ harnesses. Delays differ: prioritizing schedulers grant cheap tasks at\n"
+      "their first eligible cycle instead of queue position.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Quickstart: schedule DP tasks onto privacy blocks with DPack, DPF, and Optimal,
+// reproducing the paper's Fig. 1 worked example in ~60 lines.
+//
+//   - 3 privacy blocks, each enforcing (eps = 10, delta = 1e-7)-DP;
+//   - T1 requests 45% of the budget of ALL three blocks (a large model retraining);
+//   - T2, T3, T4 each request 60% of ONE distinct block (daily statistics).
+//
+// DPF orders by dominant share (T1's 45% < 60%), schedules T1 first, and strands T2-T4.
+// DPack's area metric sees that T1's total demand spans three blocks and packs the three
+// single-block tasks instead: 3 allocations vs 1.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "src/dpack/dpack.h"
+
+namespace {
+
+using namespace dpack;  // Example code; the library itself never does this.
+
+// Runs `kind` on a fresh copy of the system and reports what it allocated.
+size_t RunScheduler(SchedulerKind kind, const std::vector<Task>& tasks) {
+  BlockManager blocks(AlphaGrid::Default(), /*eps_g=*/10.0, /*delta_g=*/1e-7);
+  for (int b = 0; b < 3; ++b) {
+    blocks.AddBlock(/*arrival_time=*/0.0, /*unlocked=*/true);
+  }
+  std::unique_ptr<Scheduler> scheduler = CreateScheduler(kind);
+  std::vector<Task> copy = tasks;
+  std::vector<size_t> granted = scheduler->ScheduleBatch(copy, blocks);
+  std::printf("%-8s allocated %zu of %zu tasks:", scheduler->name().c_str(), granted.size(),
+              tasks.size());
+  for (size_t idx : granted) {
+    std::printf(" T%lld", static_cast<long long>(tasks[idx].id));
+  }
+  std::printf("\n");
+  return granted.size();
+}
+
+}  // namespace
+
+int main() {
+  AlphaGridPtr grid = AlphaGrid::Default();
+  RdpCurve capacity = BlockCapacityCurve(grid, 10.0, 1e-7);
+
+  // Demands proportional to the block capacity curve: a task demanding fraction f has
+  // normalized share f at every usable order, exactly the flat multi-block demands of Fig. 1.
+  std::vector<Task> tasks;
+  Task t1(1, /*weight=*/1.0, capacity.Scaled(0.45));
+  t1.blocks = {0, 1, 2};
+  tasks.push_back(t1);
+  for (int i = 0; i < 3; ++i) {
+    Task t(2 + i, /*weight=*/1.0, capacity.Scaled(0.60));
+    t.blocks = {static_cast<BlockId>(i)};
+    tasks.push_back(t);
+  }
+
+  std::printf("Privacy scheduling quickstart: 3 blocks at (eps=10, delta=1e-7), 4 tasks.\n");
+  std::printf("T1 wants 45%% of every block; T2-T4 want 60%% of one block each.\n\n");
+  size_t dpack_count = RunScheduler(SchedulerKind::kDpack, tasks);
+  size_t dpf_count = RunScheduler(SchedulerKind::kDpf, tasks);
+  RunScheduler(SchedulerKind::kOptimal, tasks);
+
+  std::printf(
+      "\nDPF schedules the block-hungry T1 first (its dominant share is smallest) and "
+      "strands\nthe rest; DPack packs the three single-block statistics instead "
+      "(%zu vs %zu tasks).\n",
+      dpack_count, dpf_count);
+  return 0;
+}

@@ -1,0 +1,77 @@
+#include "src/block/block_manager.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace dpack {
+
+BlockManager::BlockManager(AlphaGridPtr grid, double eps_g, double delta_g)
+    : grid_(std::move(grid)), eps_g_(eps_g), delta_g_(delta_g) {
+  DPACK_CHECK(grid_ != nullptr);
+}
+
+BlockId BlockManager::AddBlock(double arrival_time, bool unlocked) {
+  BlockId id = static_cast<BlockId>(blocks_.size());
+  blocks_.push_back(std::make_unique<PrivacyBlock>(id, grid_, eps_g_, delta_g_, arrival_time,
+                                                   unlocked ? 1.0 : 0.0));
+  return id;
+}
+
+BlockId BlockManager::AddBlockWithCapacity(RdpCurve capacity, double arrival_time,
+                                           bool unlocked) {
+  DPACK_CHECK_MSG(SameGrid(capacity.grid(), grid_), "capacity grid mismatch");
+  BlockId id = static_cast<BlockId>(blocks_.size());
+  blocks_.push_back(std::make_unique<PrivacyBlock>(id, std::move(capacity), arrival_time,
+                                                   unlocked ? 1.0 : 0.0));
+  return id;
+}
+
+PrivacyBlock& BlockManager::block(BlockId id) {
+  DPACK_CHECK(id >= 0 && static_cast<size_t>(id) < blocks_.size());
+  return *blocks_[static_cast<size_t>(id)];
+}
+
+const PrivacyBlock& BlockManager::block(BlockId id) const {
+  DPACK_CHECK(id >= 0 && static_cast<size_t>(id) < blocks_.size());
+  return *blocks_[static_cast<size_t>(id)];
+}
+
+std::vector<BlockId> BlockManager::MostRecentBlocks(size_t n) const {
+  size_t count = std::min(n, blocks_.size());
+  std::vector<BlockId> ids;
+  ids.reserve(count);
+  for (size_t i = blocks_.size() - count; i < blocks_.size(); ++i) {
+    ids.push_back(static_cast<BlockId>(i));
+  }
+  return ids;
+}
+
+BlockManager BlockManager::Clone() const {
+  BlockManager copy(grid_, eps_g_, delta_g_);
+  copy.blocks_.reserve(blocks_.size());
+  for (const auto& block : blocks_) {
+    copy.blocks_.push_back(std::make_unique<PrivacyBlock>(*block));
+  }
+  return copy;
+}
+
+void BlockManager::UpdateUnlocks(double now, double period, int64_t unlock_steps) {
+  DPACK_CHECK(period > 0.0);
+  DPACK_CHECK(unlock_steps >= 1);
+  for (auto& block : blocks_) {
+    double age = now - block->arrival_time();
+    if (age < 0.0) {
+      continue;  // Not yet arrived (should not happen, but harmless).
+    }
+    // Number of scheduling steps the block has witnessed, including the current one: a block
+    // arriving at a cycle instant counts that cycle (floor(age/T) + 1), matching the paper's
+    // ceil((t - t_j)/T) convention for blocks arriving strictly between cycles.
+    int64_t steps = static_cast<int64_t>(std::floor(age / period)) + 1;
+    steps = std::min(steps, unlock_steps);
+    block->SetUnlockedFraction(static_cast<double>(steps) / static_cast<double>(unlock_steps));
+  }
+}
+
+}  // namespace dpack

@@ -1,0 +1,57 @@
+// Registry of live privacy blocks with online arrival and budget unlocking (§3.4).
+
+#ifndef SRC_BLOCK_BLOCK_MANAGER_H_
+#define SRC_BLOCK_BLOCK_MANAGER_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "src/block/privacy_block.h"
+
+namespace dpack {
+
+class BlockManager {
+ public:
+  // Blocks created by this manager share `grid` and derive capacity from (eps_g, delta_g).
+  BlockManager(AlphaGridPtr grid, double eps_g, double delta_g);
+
+  const AlphaGridPtr& grid() const { return grid_; }
+  double eps_g() const { return eps_g_; }
+  double delta_g() const { return delta_g_; }
+
+  // Adds a new block arriving at `arrival_time`; returns its id (dense, starting at 0).
+  // In the online setting the block starts fully locked; UpdateUnlocks opens budget.
+  // In the offline setting call with unlocked=true to make the whole budget available.
+  BlockId AddBlock(double arrival_time, bool unlocked = false);
+
+  // Adds a block with an explicit per-order capacity curve (must share this manager's grid)
+  // instead of the derived (eps_g, delta_g) capacity. Used for synthetic instances.
+  BlockId AddBlockWithCapacity(RdpCurve capacity, double arrival_time, bool unlocked = false);
+
+  size_t block_count() const { return blocks_.size(); }
+  PrivacyBlock& block(BlockId id);
+  const PrivacyBlock& block(BlockId id) const;
+
+  // Ids of the `n` most recent blocks (or all if fewer exist), most recent last.
+  std::vector<BlockId> MostRecentBlocks(size_t n) const;
+
+  // Applies the paper's unlocking rule at scheduling time `now`: every block's unlocked
+  // fraction becomes min(ceil((now - t_j) / period), unlock_steps) / unlock_steps.
+  // Requires period > 0 and unlock_steps >= 1.
+  void UpdateUnlocks(double now, double period, int64_t unlock_steps);
+
+  // Deep copy of the manager and all block states (capacities, consumption, unlocking).
+  // Used by schedulers that need to trial-run allocation without committing budget.
+  BlockManager Clone() const;
+
+ private:
+  AlphaGridPtr grid_;
+  double eps_g_;
+  double delta_g_;
+  std::vector<std::unique_ptr<PrivacyBlock>> blocks_;
+};
+
+}  // namespace dpack
+
+#endif  // SRC_BLOCK_BLOCK_MANAGER_H_

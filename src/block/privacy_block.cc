@@ -1,0 +1,82 @@
+#include "src/block/privacy_block.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/common/check.h"
+
+namespace dpack {
+
+PrivacyBlock::PrivacyBlock(BlockId id, RdpCurve capacity, double arrival_time,
+                           double initial_unlocked)
+    : id_(id),
+      capacity_(std::move(capacity)),
+      consumed_(capacity_.grid()),
+      arrival_time_(arrival_time),
+      unlocked_fraction_(initial_unlocked) {
+  DPACK_CHECK(initial_unlocked >= 0.0 && initial_unlocked <= 1.0);
+}
+
+PrivacyBlock::PrivacyBlock(BlockId id, const AlphaGridPtr& grid, double eps_g, double delta_g,
+                           double arrival_time, double initial_unlocked)
+    : PrivacyBlock(id, BlockCapacityCurve(grid, eps_g, delta_g), arrival_time,
+                   initial_unlocked) {}
+
+void PrivacyBlock::SetUnlockedFraction(double fraction) {
+  DPACK_CHECK(fraction >= 0.0 && fraction <= 1.0);
+  // Unlocking is monotone: budget never re-locks, so stale (smaller) updates are ignored.
+  unlocked_fraction_ = std::max(unlocked_fraction_, fraction);
+}
+
+double PrivacyBlock::UnlockedCapacityAt(size_t alpha_index) const {
+  return unlocked_fraction_ * capacity_.epsilon(alpha_index);
+}
+
+RdpCurve PrivacyBlock::AvailableCurve() const {
+  std::vector<double> available(capacity_.size());
+  for (size_t i = 0; i < capacity_.size(); ++i) {
+    available[i] = std::max(0.0, UnlockedCapacityAt(i) - consumed_.epsilon(i));
+  }
+  return RdpCurve(capacity_.grid(), std::move(available));
+}
+
+bool PrivacyBlock::CanAccept(const RdpCurve& demand) const {
+  DPACK_CHECK_MSG(SameGrid(demand.grid(), capacity_.grid()), "grid mismatch");
+  for (size_t i = 0; i < capacity_.size(); ++i) {
+    double cap = UnlockedCapacityAt(i);
+    if (cap <= 0.0) {
+      continue;  // Order unusable under the global guarantee.
+    }
+    // Tiny relative slack absorbs accumulation round-off (e.g. N equal demands summing to
+    // exactly the capacity); the 1e-9-level overshoot is immaterial to the DP guarantee.
+    double slack = 1e-9 * (1.0 + cap);
+    if (consumed_.epsilon(i) + demand.epsilon(i) <= cap + slack) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void PrivacyBlock::Commit(const RdpCurve& demand) {
+  DPACK_CHECK_MSG(CanAccept(demand), "Commit on a demand the filter rejects");
+  consumed_.Accumulate(demand);
+}
+
+bool PrivacyBlock::Exhausted() const {
+  for (size_t i = 0; i < capacity_.size(); ++i) {
+    if (consumed_.epsilon(i) < capacity_.epsilon(i)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string PrivacyBlock::DebugString() const {
+  std::ostringstream os;
+  os << "PrivacyBlock{id=" << id_ << ", unlocked=" << unlocked_fraction_
+     << ", consumed=" << consumed_.DebugString() << ", capacity=" << capacity_.DebugString()
+     << "}";
+  return os.str();
+}
+
+}  // namespace dpack

@@ -1,0 +1,81 @@
+// A privacy block: a data partition with a finite, non-replenishable RDP budget guarded by a
+// Rényi privacy filter (§2.3, §3.4).
+//
+// The block's total per-order capacity is derived from the global (eps_g, delta_g)-DP
+// guarantee via `BlockCapacityCurve`. A demand is admissible if, after charging it, the
+// cumulative consumption stays within capacity for *at least one* Rényi order — the
+// "exists alpha" semantic of the privacy knapsack (Eq. 5) and of Rényi filters, which is what
+// lets translation to traditional DP pick the single best order.
+//
+// For online scheduling, only a fraction of the capacity is unlocked at a time
+// (min(ceil((t - t_j)/T), N)/N, §3.4); admission during scheduling is checked against the
+// unlocked capacity, which is always <= total capacity, so the filter guarantee is preserved.
+
+#ifndef SRC_BLOCK_PRIVACY_BLOCK_H_
+#define SRC_BLOCK_PRIVACY_BLOCK_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/rdp/rdp_curve.h"
+
+namespace dpack {
+
+using BlockId = int64_t;
+
+class PrivacyBlock {
+ public:
+  // A block with explicit per-order capacity, arriving at `arrival_time` (virtual time).
+  // `initial_unlocked` in [0, 1] sets the starting unlocked fraction: 1 for offline systems,
+  // 0 for online blocks whose budget unlocks over time.
+  PrivacyBlock(BlockId id, RdpCurve capacity, double arrival_time,
+               double initial_unlocked = 1.0);
+
+  // Convenience: capacity derived from a global (eps_g, delta_g)-DP guarantee.
+  PrivacyBlock(BlockId id, const AlphaGridPtr& grid, double eps_g, double delta_g,
+               double arrival_time, double initial_unlocked = 1.0);
+
+  BlockId id() const { return id_; }
+  double arrival_time() const { return arrival_time_; }
+  const AlphaGridPtr& grid() const { return capacity_.grid(); }
+
+  const RdpCurve& capacity() const { return capacity_; }
+  const RdpCurve& consumed() const { return consumed_; }
+
+  // Fraction of the total capacity currently unlocked, in [0, 1]. Starts fully unlocked
+  // (offline setting); the online scheduler drives it via SetUnlockedFraction.
+  double unlocked_fraction() const { return unlocked_fraction_; }
+  void SetUnlockedFraction(double fraction);
+
+  // Unlocked capacity at order `alpha_index`: unlocked_fraction * capacity(alpha).
+  double UnlockedCapacityAt(size_t alpha_index) const;
+
+  // Remaining unlocked capacity per order, clamped at zero:
+  // max(0, unlocked_fraction * capacity(alpha) - consumed(alpha)). This is the c_j(alpha)
+  // that scheduling heuristics normalize demands by.
+  RdpCurve AvailableCurve() const;
+
+  // Filter admission check: true iff there exists an order alpha with
+  // consumed(alpha) + demand(alpha) <= unlocked capacity(alpha).
+  bool CanAccept(const RdpCurve& demand) const;
+
+  // Charges `demand` to the block. Requires CanAccept(demand).
+  void Commit(const RdpCurve& demand);
+
+  // True when no order has strictly positive remaining *total* capacity; the block can never
+  // admit another positive demand and may be retired (§2.3).
+  bool Exhausted() const;
+
+  std::string DebugString() const;
+
+ private:
+  BlockId id_;
+  RdpCurve capacity_;
+  RdpCurve consumed_;
+  double arrival_time_;
+  double unlocked_fraction_ = 1.0;
+};
+
+}  // namespace dpack
+
+#endif  // SRC_BLOCK_PRIVACY_BLOCK_H_

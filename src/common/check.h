@@ -1,0 +1,40 @@
+// Lightweight runtime assertion macros used across the dpack libraries.
+//
+// DPACK_CHECK is always on (release included): scheduling correctness depends on invariants
+// such as "a task is only charged to a block the filter accepted", and silently continuing
+// would corrupt privacy accounting. Failures print the condition and abort.
+
+#ifndef SRC_COMMON_CHECK_H_
+#define SRC_COMMON_CHECK_H_
+
+#include <sstream>
+#include <string>
+
+namespace dpack {
+
+namespace internal {
+
+// Aborts the process after printing `message` to stderr. Never returns.
+[[noreturn]] void CheckFailed(const char* file, int line, const std::string& message);
+
+}  // namespace internal
+
+}  // namespace dpack
+
+#define DPACK_CHECK(condition)                                                            \
+  do {                                                                                    \
+    if (!(condition)) {                                                                   \
+      ::dpack::internal::CheckFailed(__FILE__, __LINE__, "DPACK_CHECK failed: " #condition); \
+    }                                                                                     \
+  } while (false)
+
+#define DPACK_CHECK_MSG(condition, msg)                                            \
+  do {                                                                             \
+    if (!(condition)) {                                                            \
+      std::ostringstream dpack_check_stream_;                                      \
+      dpack_check_stream_ << "DPACK_CHECK failed: " #condition << ": " << msg;     \
+      ::dpack::internal::CheckFailed(__FILE__, __LINE__, dpack_check_stream_.str()); \
+    }                                                                              \
+  } while (false)
+
+#endif  // SRC_COMMON_CHECK_H_

@@ -1,0 +1,49 @@
+#include "src/common/distributions.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace dpack {
+
+int64_t DiscreteGaussian(Rng& rng, double mean, double stddev, int64_t lo, int64_t hi) {
+  DPACK_CHECK(lo <= hi);
+  double draw = rng.Gaussian(mean, stddev);
+  int64_t rounded = static_cast<int64_t>(std::llround(draw));
+  return std::clamp(rounded, lo, hi);
+}
+
+std::vector<double> TruncatedDiscreteGaussianPmf(size_t size, double center, double stddev) {
+  DPACK_CHECK(size > 0);
+  std::vector<double> pmf(size, 0.0);
+  if (stddev == 0.0) {
+    int64_t idx = std::clamp<int64_t>(static_cast<int64_t>(std::llround(center)), 0,
+                                      static_cast<int64_t>(size) - 1);
+    pmf[static_cast<size_t>(idx)] = 1.0;
+    return pmf;
+  }
+  double total = 0.0;
+  for (size_t i = 0; i < size; ++i) {
+    double z = (static_cast<double>(i) - center) / stddev;
+    pmf[i] = std::exp(-0.5 * z * z);
+    total += pmf[i];
+  }
+  for (double& p : pmf) {
+    p /= total;
+  }
+  return pmf;
+}
+
+size_t TruncatedDiscreteGaussianIndex(Rng& rng, size_t size, double center, double stddev) {
+  std::vector<double> pmf = TruncatedDiscreteGaussianPmf(size, center, stddev);
+  return rng.WeightedIndex(pmf);
+}
+
+double PoissonProcess::InterArrival() {
+  if (rate_ <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return rng_.Exponential(rate_);
+}
+
+}  // namespace dpack

@@ -1,0 +1,48 @@
+// Discrete distributions used by the paper's workload generators.
+//
+// The microbenchmark (§6.2) samples the number of requested blocks from a *discrete* Gaussian
+// and picks best-alpha buckets from a *truncated* discrete Gaussian over bucket indexes; the
+// Alibaba-DP generator (§6.3) uses heavy-tailed draws. These helpers implement the discrete
+// distributions on top of `Rng`.
+
+#ifndef SRC_COMMON_DISTRIBUTIONS_H_
+#define SRC_COMMON_DISTRIBUTIONS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace dpack {
+
+// Samples from a Gaussian N(mean, stddev^2) rounded to the nearest integer and clamped to
+// [lo, hi]. With stddev == 0 this deterministically returns round(mean) clamped.
+int64_t DiscreteGaussian(Rng& rng, double mean, double stddev, int64_t lo, int64_t hi);
+
+// Probability mass of a truncated discrete Gaussian centered at `center` over indexes
+// [0, size): mass[i] proportional to exp(-(i - center)^2 / (2 stddev^2)). With stddev == 0,
+// all mass sits on round(center) (clamped into range).
+std::vector<double> TruncatedDiscreteGaussianPmf(size_t size, double center, double stddev);
+
+// Samples an index in [0, size) from TruncatedDiscreteGaussianPmf.
+size_t TruncatedDiscreteGaussianIndex(Rng& rng, size_t size, double center, double stddev);
+
+// A Poisson arrival process over continuous virtual time: successive InterArrival() draws are
+// i.i.d. Exponential(rate). With rate == 0 the process never fires (returns +infinity).
+class PoissonProcess {
+ public:
+  PoissonProcess(Rng rng, double rate) : rng_(rng), rate_(rate) {}
+
+  // Time until the next arrival.
+  double InterArrival();
+
+  double rate() const { return rate_; }
+
+ private:
+  Rng rng_;
+  double rate_;
+};
+
+}  // namespace dpack
+
+#endif  // SRC_COMMON_DISTRIBUTIONS_H_

@@ -1,0 +1,54 @@
+// Minimal leveled logging to stderr.
+//
+// Intended for operational messages from long-running harnesses (progress, warnings), not for
+// experiment data — data goes through `CsvTable`.
+
+#ifndef SRC_COMMON_LOG_H_
+#define SRC_COMMON_LOG_H_
+
+#include <sstream>
+#include <string>
+
+namespace dpack {
+
+enum class LogLevel {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+};
+
+// Sets the minimum level that is emitted. Defaults to kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+// Emits one formatted log line; thread-safe.
+void LogMessage(LogLevel level, const char* file, int line, const std::string& message);
+
+class LogStream {
+ public:
+  LogStream(LogLevel level, const char* file, int line) : level_(level), file_(file), line_(line) {}
+  ~LogStream() { LogMessage(level_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+}  // namespace dpack
+
+#define DPACK_LOG(level) ::dpack::internal::LogStream(::dpack::LogLevel::level, __FILE__, __LINE__)
+
+#endif  // SRC_COMMON_LOG_H_

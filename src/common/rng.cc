@@ -1,0 +1,115 @@
+#include "src/common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dpack {
+
+namespace {
+
+// SplitMix64 finalizer, used to derive well-separated child seeds.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+Rng Rng::Fork(uint64_t stream_id) const { return Rng(Mix(seed_ ^ Mix(stream_id))); }
+
+double Rng::Uniform() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double Rng::Uniform(double lo, double hi) {
+  DPACK_CHECK(lo < hi);
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  DPACK_CHECK(lo <= hi);
+  return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+}
+
+bool Rng::Bernoulli(double p) {
+  DPACK_CHECK(p >= 0.0 && p <= 1.0);
+  return std::bernoulli_distribution(p)(engine_);
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  DPACK_CHECK(stddev >= 0.0);
+  if (stddev == 0.0) {
+    return mean;
+  }
+  return std::normal_distribution<double>(mean, stddev)(engine_);
+}
+
+double Rng::LogNormal(double log_mean, double log_stddev) {
+  DPACK_CHECK(log_stddev >= 0.0);
+  return std::exp(Gaussian(log_mean, log_stddev));
+}
+
+double Rng::Pareto(double x_min, double alpha) {
+  DPACK_CHECK(x_min > 0.0 && alpha > 0.0);
+  // Inverse-CDF sampling; 1 - U is in (0, 1].
+  double u = 1.0 - Uniform();
+  return x_min / std::pow(u, 1.0 / alpha);
+}
+
+double Rng::Exponential(double rate) {
+  DPACK_CHECK(rate > 0.0);
+  return std::exponential_distribution<double>(rate)(engine_);
+}
+
+int64_t Rng::Poisson(double mean) {
+  DPACK_CHECK(mean >= 0.0);
+  if (mean == 0.0) {
+    return 0;
+  }
+  return std::poisson_distribution<int64_t>(mean)(engine_);
+}
+
+size_t Rng::WeightedIndex(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    DPACK_CHECK(w >= 0.0);
+    total += w;
+  }
+  DPACK_CHECK(total > 0.0);
+  double r = Uniform() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) {
+      return i;
+    }
+  }
+  // Floating-point slack: return the last positive-weight index.
+  for (size_t i = weights.size(); i > 0; --i) {
+    if (weights[i - 1] > 0.0) {
+      return i - 1;
+    }
+  }
+  return weights.size() - 1;
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  DPACK_CHECK(k <= n);
+  // Floyd's algorithm: O(k) expected insertions.
+  std::vector<size_t> picked;
+  picked.reserve(k);
+  for (size_t j = n - k; j < n; ++j) {
+    size_t t = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(j)));
+    if (std::find(picked.begin(), picked.end(), t) == picked.end()) {
+      picked.push_back(t);
+    } else {
+      picked.push_back(j);
+    }
+  }
+  std::sort(picked.begin(), picked.end());
+  return picked;
+}
+
+}  // namespace dpack

@@ -1,0 +1,144 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace dpack {
+
+void RunningStat::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double RunningStat::min() const {
+  DPACK_CHECK(count_ > 0);
+  return min_;
+}
+
+double RunningStat::max() const {
+  DPACK_CHECK(count_ > 0);
+  return max_;
+}
+
+double RunningStat::variation_coefficient() const {
+  if (count_ == 0 || mean_ == 0.0) {
+    return 0.0;
+  }
+  return stddev() / mean_;
+}
+
+void SampleSet::Add(double x) {
+  samples_.push_back(x);
+  sorted_ = false;
+}
+
+void SampleSet::EnsureSorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double SampleSet::sum() const {
+  double s = 0.0;
+  for (double x : samples_) {
+    s += x;
+  }
+  return s;
+}
+
+double SampleSet::mean() const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  return sum() / static_cast<double>(samples_.size());
+}
+
+double SampleSet::Quantile(double q) const {
+  DPACK_CHECK(!samples_.empty());
+  DPACK_CHECK(q >= 0.0 && q <= 1.0);
+  EnsureSorted();
+  if (samples_.size() == 1) {
+    return samples_[0];
+  }
+  double pos = q * static_cast<double>(samples_.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  size_t hi = std::min(lo + 1, samples_.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+double SampleSet::CdfAt(double x) const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  EnsureSorted();
+  auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) / static_cast<double>(samples_.size());
+}
+
+std::vector<std::pair<double, double>> SampleSet::CdfPoints(size_t max_points) const {
+  std::vector<std::pair<double, double>> points;
+  if (samples_.empty() || max_points == 0) {
+    return points;
+  }
+  EnsureSorted();
+  size_t n = samples_.size();
+  size_t step = std::max<size_t>(1, n / max_points);
+  for (size_t i = 0; i < n; i += step) {
+    points.emplace_back(samples_[i], static_cast<double>(i + 1) / static_cast<double>(n));
+  }
+  if (points.back().first != samples_.back()) {
+    points.emplace_back(samples_.back(), 1.0);
+  }
+  return points;
+}
+
+Histogram::Histogram(double lo, double hi, size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)), counts_(buckets, 0) {
+  DPACK_CHECK(hi > lo);
+  DPACK_CHECK(buckets > 0);
+}
+
+void Histogram::Add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  size_t idx = static_cast<size_t>((x - lo_) / width_);
+  idx = std::min(idx, counts_.size() - 1);
+  ++counts_[idx];
+}
+
+double Histogram::BucketLow(size_t i) const {
+  DPACK_CHECK(i < counts_.size());
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+}  // namespace dpack

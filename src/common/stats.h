@@ -1,0 +1,94 @@
+// Streaming statistics, percentile summaries, and empirical CDFs for experiment metrics.
+
+#ifndef SRC_COMMON_STATS_H_
+#define SRC_COMMON_STATS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dpack {
+
+// Constant-memory accumulator for mean/variance/min/max (Welford's algorithm).
+class RunningStat {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  // Sample variance (n - 1 denominator); 0 with fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return sum_; }
+  // Coefficient of variation: stddev / mean (0 when mean is 0).
+  double variation_coefficient() const;
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// Stores all samples; answers quantile and CDF queries. Suited to experiment-scale data
+// (millions of points), not unbounded streams.
+class SampleSet {
+ public:
+  void Add(double x);
+  void Reserve(size_t n) { samples_.reserve(n); }
+
+  size_t count() const { return samples_.size(); }
+  double sum() const;
+  double mean() const;
+  // Quantile in [0, 1] by linear interpolation; requires at least one sample.
+  double Quantile(double q) const;
+  double median() const { return Quantile(0.5); }
+
+  // Fraction of samples <= x (empirical CDF).
+  double CdfAt(double x) const;
+
+  // Evenly spaced (value, cumulative fraction) points suitable for plotting a CDF.
+  // Returns up to `max_points` points spanning the full sample range.
+  std::vector<std::pair<double, double>> CdfPoints(size_t max_points) const;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void EnsureSorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+// Fixed-width histogram over [lo, hi) with overflow/underflow buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, size_t buckets);
+
+  void Add(double x);
+
+  size_t bucket_count() const { return counts_.size(); }
+  size_t bucket(size_t i) const { return counts_[i]; }
+  // Inclusive lower edge of bucket i.
+  double BucketLow(size_t i) const;
+  size_t underflow() const { return underflow_; }
+  size_t overflow() const { return overflow_; }
+  size_t total() const { return total_; }
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<size_t> counts_;
+  size_t underflow_ = 0;
+  size_t overflow_ = 0;
+  size_t total_ = 0;
+};
+
+}  // namespace dpack
+
+#endif  // SRC_COMMON_STATS_H_

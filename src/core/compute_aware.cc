@@ -1,0 +1,65 @@
+#include "src/core/compute_aware.h"
+
+#include "src/common/check.h"
+
+namespace dpack {
+
+void ComputeDemandMap::Set(TaskId id, double gpu_hours) {
+  DPACK_CHECK(gpu_hours >= 0.0);
+  demand_[id] = gpu_hours;
+}
+
+double ComputeDemandMap::Get(TaskId id) const {
+  auto it = demand_.find(id);
+  return it == demand_.end() ? 0.0 : it->second;
+}
+
+ComputeAwareScheduler::ComputeAwareScheduler(std::unique_ptr<Scheduler> inner,
+                                             const ComputeDemandMap* demands,
+                                             ComputeAwareOptions options)
+    : inner_(std::move(inner)), demands_(demands), options_(options) {
+  DPACK_CHECK(inner_ != nullptr);
+  DPACK_CHECK(demands_ != nullptr);
+  DPACK_CHECK(options_.gpu_hours_per_cycle > 0.0);
+}
+
+std::vector<size_t> ComputeAwareScheduler::ScheduleBatch(std::span<const Task> pending,
+                                                         BlockManager& blocks) {
+  // Obtain the inner policy's grant sequence on a scratch copy of the block state, then
+  // replay it against the real blocks under the compute cap. Tasks the inner policy would
+  // grant but the cap rejects are deferred: their privacy budget stays uncommitted, so they
+  // compete again next cycle.
+  BlockManager scratch = blocks.Clone();
+  std::vector<size_t> inner_grants = inner_->ScheduleBatch(pending, scratch);
+
+  last_cycle_gpu_hours_ = 0.0;
+  last_cycle_compute_deferred_ = 0;
+  std::vector<size_t> granted;
+  granted.reserve(inner_grants.size());
+  for (size_t idx : inner_grants) {
+    const Task& task = pending[idx];
+    bool privacy_ok = true;
+    for (BlockId j : task.blocks) {
+      if (!blocks.block(j).CanAccept(task.demand)) {
+        privacy_ok = false;
+        break;
+      }
+    }
+    if (!privacy_ok) {
+      continue;  // Can only happen when earlier compute-skips reshuffled feasibility.
+    }
+    double gpu = demands_->Get(task.id);
+    if (last_cycle_gpu_hours_ + gpu > options_.gpu_hours_per_cycle) {
+      ++last_cycle_compute_deferred_;
+      continue;
+    }
+    for (BlockId j : task.blocks) {
+      blocks.block(j).Commit(task.demand);
+    }
+    last_cycle_gpu_hours_ += gpu;
+    granted.push_back(idx);
+  }
+  return granted;
+}
+
+}  // namespace dpack

@@ -1,0 +1,64 @@
+// Compute-aware privacy scheduling — the paper's §8 extension direction ("better scheduling
+// of traditional computing resources alongside privacy blocks").
+//
+// DP tasks consume two very different resource kinds: the non-replenishable privacy budget
+// of the blocks they read, and replenishable cluster compute (GPU-hours per scheduling
+// cycle). `ComputeAwareScheduler` wraps any inner batch scheduler and additionally enforces
+// a per-cycle compute capacity: tasks are considered in the inner scheduler's order, but a
+// task is granted only if both its privacy filters AND the cycle's remaining compute admit
+// it. Privacy budget is only committed for granted tasks, so compute-deferred tasks retry
+// next cycle with their budget intact.
+
+#ifndef SRC_CORE_COMPUTE_AWARE_H_
+#define SRC_CORE_COMPUTE_AWARE_H_
+
+#include <memory>
+#include <unordered_map>
+
+#include "src/core/scheduler.h"
+
+namespace dpack {
+
+// Per-task compute demand, registered by task id. Tasks without an entry are assumed free.
+class ComputeDemandMap {
+ public:
+  void Set(TaskId id, double gpu_hours);
+  double Get(TaskId id) const;
+  size_t size() const { return demand_.size(); }
+
+ private:
+  std::unordered_map<TaskId, double> demand_;
+};
+
+struct ComputeAwareOptions {
+  // GPU-hours available per scheduling cycle (> 0).
+  double gpu_hours_per_cycle = 100.0;
+};
+
+class ComputeAwareScheduler : public Scheduler {
+ public:
+  // `demands` must outlive the scheduler.
+  ComputeAwareScheduler(std::unique_ptr<Scheduler> inner, const ComputeDemandMap* demands,
+                        ComputeAwareOptions options);
+
+  std::string name() const override { return inner_->name() + "+compute"; }
+
+  std::vector<size_t> ScheduleBatch(std::span<const Task> pending,
+                                    BlockManager& blocks) override;
+
+  // GPU-hours consumed by the grants of the most recent cycle.
+  double last_cycle_gpu_hours() const { return last_cycle_gpu_hours_; }
+  // Tasks that were privacy-admissible but deferred on compute in the most recent cycle.
+  size_t last_cycle_compute_deferred() const { return last_cycle_compute_deferred_; }
+
+ private:
+  std::unique_ptr<Scheduler> inner_;
+  const ComputeDemandMap* demands_;
+  ComputeAwareOptions options_;
+  double last_cycle_gpu_hours_ = 0.0;
+  size_t last_cycle_compute_deferred_ = 0;
+};
+
+}  // namespace dpack
+
+#endif  // SRC_CORE_COMPUTE_AWARE_H_

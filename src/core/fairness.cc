@@ -1,0 +1,29 @@
+#include "src/core/fairness.h"
+
+#include "src/common/check.h"
+
+namespace dpack {
+
+bool IsFairShareTask(const Task& task, const BlockManager& blocks, int64_t fair_share_n) {
+  DPACK_CHECK(fair_share_n >= 1);
+  for (BlockId j : task.blocks) {
+    const RdpCurve& capacity = blocks.block(j).capacity();
+    bool within = false;
+    for (size_t a = 0; a < capacity.size(); ++a) {
+      double cap = capacity.epsilon(a);
+      if (cap <= 0.0) {
+        continue;
+      }
+      if (task.demand.epsilon(a) <= cap / static_cast<double>(fair_share_n)) {
+        within = true;
+        break;
+      }
+    }
+    if (!within) {
+      return false;
+    }
+  }
+  return !task.blocks.empty();
+}
+
+}  // namespace dpack

@@ -1,0 +1,24 @@
+// Fair-share classification used by the efficiency-fairness analysis (§6.3).
+//
+// DPF guarantees allocation (budget permitting) to tasks whose demand does not exceed their
+// "fair share": 1/N of the epsilon-normalized block budget, where N is the unlocking
+// denominator. A task qualifies when, on every block it requests, some usable order alpha
+// has demand(alpha) <= capacity(alpha) / N.
+
+#ifndef SRC_CORE_FAIRNESS_H_
+#define SRC_CORE_FAIRNESS_H_
+
+#include <cstdint>
+
+#include "src/block/block_manager.h"
+#include "src/core/task.h"
+
+namespace dpack {
+
+// True iff `task` demands no more than the 1/fair_share_n fraction of every requested
+// block's total capacity at some order. Requires resolved task.blocks.
+bool IsFairShareTask(const Task& task, const BlockManager& blocks, int64_t fair_share_n);
+
+}  // namespace dpack
+
+#endif  // SRC_CORE_FAIRNESS_H_

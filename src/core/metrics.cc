@@ -1,0 +1,47 @@
+#include "src/core/metrics.h"
+
+#include <sstream>
+
+namespace dpack {
+
+void AllocationMetrics::RecordSubmission(double weight, bool fair_share) {
+  ++submitted_;
+  submitted_weight_ += weight;
+  if (fair_share) {
+    ++submitted_fair_share_;
+  }
+}
+
+void AllocationMetrics::RecordAllocation(double weight, double delay, bool fair_share) {
+  ++allocated_;
+  allocated_weight_ += weight;
+  delays_.Add(delay);
+  if (fair_share) {
+    ++allocated_fair_share_;
+  }
+}
+
+void AllocationMetrics::RecordEviction(double /*weight*/) { ++evicted_; }
+
+void AllocationMetrics::RecordCycleRuntime(double seconds) {
+  cycle_runtime_seconds_.Add(seconds);
+}
+
+double AllocationMetrics::AllocatedFairShareFraction() const {
+  if (allocated_ == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(allocated_fair_share_) / static_cast<double>(allocated_);
+}
+
+std::string AllocationMetrics::Summary() const {
+  std::ostringstream os;
+  os << "submitted=" << submitted_ << " allocated=" << allocated_ << " evicted=" << evicted_
+     << " allocated_weight=" << allocated_weight_;
+  if (delays_.count() > 0) {
+    os << " median_delay=" << delays_.median();
+  }
+  return os.str();
+}
+
+}  // namespace dpack

@@ -1,0 +1,83 @@
+#include "src/core/online_scheduler.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "src/common/check.h"
+#include "src/core/fairness.h"
+
+namespace dpack {
+
+OnlineScheduler::OnlineScheduler(std::unique_ptr<Scheduler> inner, BlockManager* blocks,
+                                 OnlineSchedulerConfig config)
+    : inner_(std::move(inner)), blocks_(blocks), config_(config) {
+  DPACK_CHECK(inner_ != nullptr);
+  DPACK_CHECK(blocks_ != nullptr);
+  DPACK_CHECK(config_.period > 0.0);
+  DPACK_CHECK(config_.unlock_steps >= 1);
+  if (config_.fair_share_n <= 0) {
+    config_.fair_share_n = config_.unlock_steps;
+  }
+}
+
+void OnlineScheduler::ResolveBlocks(Task& task) {
+  if (!task.blocks.empty() || task.num_recent_blocks == 0) {
+    return;
+  }
+  if (blocks_->block_count() == 0) {
+    return;  // Retry at the next cycle.
+  }
+  task.blocks = blocks_->MostRecentBlocks(task.num_recent_blocks);
+}
+
+void OnlineScheduler::Submit(Task task) {
+  ResolveBlocks(task);
+  bool fair = !task.blocks.empty() &&
+              IsFairShareTask(task, *blocks_, config_.fair_share_n);
+  metrics_.RecordSubmission(task.weight, fair);
+  pending_.push_back(std::move(task));
+}
+
+size_t OnlineScheduler::RunCycle(double now) {
+  blocks_->UpdateUnlocks(now, config_.period, config_.unlock_steps);
+
+  // Late block-request resolution for tasks submitted before any block existed.
+  for (Task& task : pending_) {
+    ResolveBlocks(task);
+  }
+
+  // Evict tasks that waited past their timeout.
+  auto evict_it = std::remove_if(pending_.begin(), pending_.end(), [&](const Task& task) {
+    bool timed_out = now - task.arrival_time > task.timeout;
+    if (timed_out) {
+      metrics_.RecordEviction(task.weight);
+    }
+    return timed_out;
+  });
+  pending_.erase(evict_it, pending_.end());
+
+  auto start = std::chrono::steady_clock::now();
+  std::vector<size_t> granted = inner_->ScheduleBatch(pending_, *blocks_);
+  double seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  metrics_.RecordCycleRuntime(seconds);
+
+  // Record grants and drop them from the queue (preserving arrival order of the rest).
+  std::vector<bool> taken(pending_.size(), false);
+  for (size_t idx : granted) {
+    taken[idx] = true;
+    const Task& task = pending_[idx];
+    bool fair = IsFairShareTask(task, *blocks_, config_.fair_share_n);
+    metrics_.RecordAllocation(task.weight, now - task.arrival_time, fair);
+  }
+  std::vector<Task> rest;
+  rest.reserve(pending_.size() - granted.size());
+  for (size_t i = 0; i < pending_.size(); ++i) {
+    if (!taken[i]) {
+      rest.push_back(std::move(pending_[i]));
+    }
+  }
+  pending_ = std::move(rest);
+  return granted.size();
+}
+
+}  // namespace dpack

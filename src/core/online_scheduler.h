@@ -1,0 +1,62 @@
+// Online batch scheduling driver (§3.4): tasks and blocks arrive over virtual time, a batch
+// scheduler runs every T time units against the unlocked fraction of block budgets, ungranted
+// tasks wait (until their timeout), and unused unlocked budget carries over.
+
+#ifndef SRC_CORE_ONLINE_SCHEDULER_H_
+#define SRC_CORE_ONLINE_SCHEDULER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/block/block_manager.h"
+#include "src/core/metrics.h"
+#include "src/core/scheduler.h"
+#include "src/core/task.h"
+
+namespace dpack {
+
+struct OnlineSchedulerConfig {
+  // Scheduling period T, in virtual time units (one block arrives per unit in the paper's
+  // online experiments).
+  double period = 1.0;
+  // Unlocking denominator N: each scheduling step unlocks an additional 1/N of capacity.
+  int64_t unlock_steps = 50;
+  // Fair-share denominator for metrics; defaults to unlock_steps as in §6.3.
+  int64_t fair_share_n = 0;
+};
+
+class OnlineScheduler {
+ public:
+  // `blocks` must outlive this object. Metrics accumulate internally; read via metrics().
+  OnlineScheduler(std::unique_ptr<Scheduler> inner, BlockManager* blocks,
+                  OnlineSchedulerConfig config);
+
+  // Submits a task at task.arrival_time. If task.blocks is empty, requests the
+  // task.num_recent_blocks most recent blocks (resolved now, or at the next cycle if no
+  // block has arrived yet).
+  void Submit(Task task);
+
+  // Runs one scheduling cycle at virtual time `now`: unlocks budget, evicts timed-out tasks,
+  // runs the inner scheduler over the pending batch, and records metrics.
+  // Returns the number of tasks granted this cycle.
+  size_t RunCycle(double now);
+
+  size_t pending_count() const { return pending_.size(); }
+  const AllocationMetrics& metrics() const { return metrics_; }
+  Scheduler& inner() { return *inner_; }
+  const OnlineSchedulerConfig& config() const { return config_; }
+
+ private:
+  void ResolveBlocks(Task& task);
+
+  std::unique_ptr<Scheduler> inner_;
+  BlockManager* blocks_;
+  OnlineSchedulerConfig config_;
+  std::vector<Task> pending_;
+  AllocationMetrics metrics_;
+};
+
+}  // namespace dpack
+
+#endif  // SRC_CORE_ONLINE_SCHEDULER_H_

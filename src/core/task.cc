@@ -1,0 +1,20 @@
+#include "src/core/task.h"
+
+#include <sstream>
+
+namespace dpack {
+
+std::string Task::DebugString() const {
+  std::ostringstream os;
+  os << "Task{id=" << id << ", w=" << weight << ", arrival=" << arrival_time << ", blocks=[";
+  for (size_t i = 0; i < blocks.size(); ++i) {
+    if (i > 0) {
+      os << ",";
+    }
+    os << blocks[i];
+  }
+  os << "], demand=" << demand.DebugString() << "}";
+  return os.str();
+}
+
+}  // namespace dpack

@@ -1,0 +1,44 @@
+// A DP task: one computation (model training, statistic) demanding RDP budget from a set of
+// privacy blocks (§2.3).
+
+#ifndef SRC_CORE_TASK_H_
+#define SRC_CORE_TASK_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "src/block/privacy_block.h"
+#include "src/rdp/rdp_curve.h"
+
+namespace dpack {
+
+using TaskId = int64_t;
+
+struct Task {
+  TaskId id = 0;
+  // Utility to the organization if scheduled (w_i); 1 when maximizing task count.
+  double weight = 1.0;
+  double arrival_time = 0.0;
+  // Maximum time the task may wait in the pending queue before eviction (§3.4), in virtual
+  // time units. Infinity = never evicted.
+  double timeout = std::numeric_limits<double>::infinity();
+  // The task's RDP demand curve, charged to every requested block (d_{i j alpha} = demand for
+  // all j in `blocks`, zero elsewhere).
+  RdpCurve demand;
+  // Requested block ids. The paper's workloads request the most recent blocks; generators
+  // leave this empty and set `num_recent_blocks`, resolved at submission time.
+  std::vector<BlockId> blocks;
+  // When `blocks` is empty: number of most-recent blocks to request at submission.
+  size_t num_recent_blocks = 0;
+
+  Task(TaskId task_id, double task_weight, RdpCurve task_demand)
+      : id(task_id), weight(task_weight), demand(std::move(task_demand)) {}
+
+  std::string DebugString() const;
+};
+
+}  // namespace dpack
+
+#endif  // SRC_CORE_TASK_H_

@@ -1,0 +1,176 @@
+#include "src/orchestrator/cluster_orchestrator.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <thread>
+
+#include "src/common/check.h"
+#include "src/common/log.h"
+
+namespace dpack {
+
+namespace {
+
+AlphaGridPtr GridOrDefault(const OrchestratorConfig& config) {
+  return config.grid != nullptr ? config.grid : AlphaGrid::Default();
+}
+
+}  // namespace
+
+ClusterOrchestrator::ClusterOrchestrator(std::unique_ptr<Scheduler> scheduler,
+                                         OrchestratorConfig config)
+    : config_(std::move(config)), scheduler_(std::move(scheduler)) {
+  DPACK_CHECK(scheduler_ != nullptr);
+  DPACK_CHECK(config_.period > 0.0);
+  DPACK_CHECK(config_.unlock_steps >= 1);
+  DPACK_CHECK(config_.offline_blocks + config_.online_blocks > 0);
+}
+
+OrchestratorRunResult ClusterOrchestrator::RunOfflinePass(std::vector<Task> tasks) {
+  auto run_start = std::chrono::steady_clock::now();
+  SimulatedStateStore store(config_.store_latency_us);
+  BlockManager blocks(GridOrDefault(config_), config_.eps_g, config_.delta_g);
+  size_t total_blocks = config_.offline_blocks + config_.online_blocks;
+  for (size_t b = 0; b < total_blocks; ++b) {
+    blocks.AddBlock(0.0, /*unlocked=*/true);
+  }
+
+  OnlineSchedulerConfig online_config;
+  online_config.period = config_.period;
+  online_config.unlock_steps = 1;  // Offline: everything unlocked.
+  OnlineScheduler online(std::move(scheduler_), &blocks, online_config);
+
+  // Client side: claim creation traffic (not charged to scheduler runtime).
+  for (Task& task : tasks) {
+    store.RoundTrip(1);
+    online.Submit(std::move(task));
+  }
+
+  // One scheduling pass, timed with its state-store traffic.
+  auto start = std::chrono::steady_clock::now();
+  store.RoundTrip(config_.store_ops_per_cycle);
+  size_t granted = online.RunCycle(0.0);
+  store.RoundTrip(config_.store_ops_per_task * granted);
+  double pass_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+  OrchestratorRunResult result;
+  result.metrics = online.metrics();
+  result.metrics.RecordCycleRuntime(pass_seconds);  // Full pass incl. store traffic.
+  result.store_operations = store.operations();
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - run_start).count();
+  result.cycles = 1;
+  return result;
+}
+
+OrchestratorRunResult ClusterOrchestrator::RunOnline(std::vector<Task> tasks) {
+  auto run_start = std::chrono::steady_clock::now();
+  SimulatedStateStore store(config_.store_latency_us);
+  BlockManager blocks(GridOrDefault(config_), config_.eps_g, config_.delta_g);
+  for (size_t b = 0; b < config_.offline_blocks; ++b) {
+    blocks.AddBlock(0.0, /*unlocked=*/true);
+  }
+
+  OnlineSchedulerConfig online_config;
+  online_config.period = config_.period;
+  online_config.unlock_steps = config_.unlock_steps;
+  OnlineScheduler online(std::move(scheduler_), &blocks, online_config);
+
+  double last_arrival = 0.0;
+  for (const Task& task : tasks) {
+    last_arrival = std::max(last_arrival, task.arrival_time);
+  }
+  double online_span = static_cast<double>(config_.online_blocks);
+  double end_virtual = std::max(last_arrival, online_span) +
+                       config_.period * static_cast<double>(config_.unlock_steps + 1);
+
+  std::atomic<double> clock{0.0};
+  std::atomic<bool> producer_done{false};
+  std::atomic<bool> stop{false};
+
+  // Submission queue shared between the producer and the scheduler thread. Block arrivals
+  // are communicated as a pending counter so all BlockManager mutation happens on the
+  // scheduler thread.
+  std::mutex mu;
+  std::vector<Task> submission_queue;
+  size_t blocks_released = 0;  // Online blocks whose arrival time has passed.
+
+  std::thread timekeeper([&] {
+    auto unit = std::chrono::duration<double, std::milli>(config_.virtual_unit_wall_ms);
+    while (!stop.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(unit);
+      double now = clock.load(std::memory_order_relaxed) + 1.0;
+      clock.store(now, std::memory_order_release);
+      std::lock_guard<std::mutex> lock(mu);
+      blocks_released = std::min<size_t>(config_.online_blocks,
+                                         static_cast<size_t>(std::floor(now)));
+    }
+  });
+
+  std::thread producer([&] {
+    for (Task& task : tasks) {
+      while (clock.load(std::memory_order_acquire) < task.arrival_time &&
+             !stop.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+      store.RoundTrip(1);  // Claim creation.
+      std::lock_guard<std::mutex> lock(mu);
+      submission_queue.push_back(std::move(task));
+    }
+    producer_done.store(true, std::memory_order_release);
+  });
+
+  size_t cycles = 0;
+  size_t blocks_added = 0;
+  double next_cycle = 0.0;
+  while (true) {
+    double now = clock.load(std::memory_order_acquire);
+    if (now < next_cycle) {
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          config_.virtual_unit_wall_ms / 4.0));
+      continue;
+    }
+    // Materialize newly arrived blocks and drain the submission queue.
+    std::vector<Task> batch;
+    size_t release_target = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      batch.swap(submission_queue);
+      release_target = blocks_released;
+    }
+    while (blocks_added < release_target) {
+      ++blocks_added;
+      blocks.AddBlock(static_cast<double>(blocks_added));
+    }
+    for (Task& task : batch) {
+      online.Submit(std::move(task));
+    }
+
+    store.RoundTrip(config_.store_ops_per_cycle);
+    size_t granted = online.RunCycle(now);
+    store.RoundTrip(config_.store_ops_per_task * granted);
+    ++cycles;
+    next_cycle += config_.period;
+
+    if (producer_done.load(std::memory_order_acquire) && now >= end_virtual) {
+      break;
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  producer.join();
+  timekeeper.join();
+
+  OrchestratorRunResult result;
+  result.metrics = online.metrics();
+  result.store_operations = store.operations();
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - run_start).count();
+  result.cycles = cycles;
+  return result;
+}
+
+}  // namespace dpack

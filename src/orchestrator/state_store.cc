@@ -1,0 +1,23 @@
+#include "src/orchestrator/state_store.h"
+
+#include <chrono>
+#include <thread>
+
+#include "src/common/check.h"
+
+namespace dpack {
+
+SimulatedStateStore::SimulatedStateStore(double latency_us) : latency_us_(latency_us) {
+  DPACK_CHECK(latency_us >= 0.0);
+}
+
+void SimulatedStateStore::RoundTrip(uint64_t ops) {
+  operations_.fetch_add(ops, std::memory_order_relaxed);
+  if (latency_us_ <= 0.0 || ops == 0) {
+    return;
+  }
+  auto total = std::chrono::duration<double, std::micro>(latency_us_ * static_cast<double>(ops));
+  std::this_thread::sleep_for(total);
+}
+
+}  // namespace dpack

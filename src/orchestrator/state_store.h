@@ -1,0 +1,36 @@
+// A simulated cluster state store standing in for the Kubernetes API server / etcd used by
+// the paper's PrivateKube deployment (§6.4; see DESIGN.md, substitution 2).
+//
+// PrivateKube represents tasks ("claims") and privacy blocks as custom resources; every
+// scheduling decision costs API-server round trips, and the paper reports that these system
+// overheads dominate scheduler runtime. This store injects a configurable latency per
+// operation and counts traffic so the orchestrator benchmarks exercise the same
+// overhead-dominated regime.
+
+#ifndef SRC_ORCHESTRATOR_STATE_STORE_H_
+#define SRC_ORCHESTRATOR_STATE_STORE_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace dpack {
+
+class SimulatedStateStore {
+ public:
+  // `latency_us` is the simulated per-operation round-trip latency in microseconds (>= 0).
+  explicit SimulatedStateStore(double latency_us);
+
+  // Performs `ops` synchronous round trips (blocking the calling thread for ops * latency).
+  void RoundTrip(uint64_t ops = 1);
+
+  uint64_t operations() const { return operations_.load(std::memory_order_relaxed); }
+  double latency_us() const { return latency_us_; }
+
+ private:
+  double latency_us_;
+  std::atomic<uint64_t> operations_{0};
+};
+
+}  // namespace dpack
+
+#endif  // SRC_ORCHESTRATOR_STATE_STORE_H_

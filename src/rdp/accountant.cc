@@ -1,0 +1,53 @@
+#include "src/rdp/accountant.h"
+
+#include "src/common/check.h"
+
+namespace dpack {
+
+PrivacyFilter::PrivacyFilter(const AlphaGridPtr& grid, double eps_g, double delta_g)
+    : PrivacyFilter(BlockCapacityCurve(grid, eps_g, delta_g)) {}
+
+PrivacyFilter::PrivacyFilter(RdpCurve budget)
+    : budget_(std::move(budget)), consumed_(budget_.grid()) {}
+
+bool PrivacyFilter::CanCharge(const RdpCurve& loss) const {
+  DPACK_CHECK_MSG(SameGrid(loss.grid(), budget_.grid()), "grid mismatch");
+  for (size_t i = 0; i < budget_.size(); ++i) {
+    double cap = budget_.epsilon(i);
+    if (cap <= 0.0) {
+      continue;  // Unusable order.
+    }
+    double slack = 1e-9 * (1.0 + cap);
+    if (consumed_.epsilon(i) + loss.epsilon(i) <= cap + slack) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool PrivacyFilter::TryCharge(const RdpCurve& loss) {
+  if (!CanCharge(loss)) {
+    return false;
+  }
+  consumed_.Accumulate(loss);
+  ++charges_;
+  return true;
+}
+
+bool PrivacyFilter::Exhausted() const {
+  for (size_t i = 0; i < budget_.size(); ++i) {
+    if (budget_.epsilon(i) > 0.0 && consumed_.epsilon(i) < budget_.epsilon(i)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+PrivacyOdometer::PrivacyOdometer(AlphaGridPtr grid) : consumed_(std::move(grid)) {}
+
+void PrivacyOdometer::Charge(const RdpCurve& loss) {
+  consumed_.Accumulate(loss);
+  ++charges_;
+}
+
+}  // namespace dpack

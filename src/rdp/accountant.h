@@ -1,0 +1,77 @@
+// Rényi privacy filters and odometers: adaptive-composition accounting (§3.4).
+//
+// A *filter* enforces a preset RDP budget over an adaptively chosen sequence of
+// computations: each charge is accepted only if the cumulative loss stays within budget at
+// some Rényi order, which (via Eq. 2) certifies the preset (eps_g, delta_g)-DP guarantee for
+// the whole sequence — Property 6 of the paper, following Feldman-Zrnic / Lécuyer.
+//
+// An *odometer* tracks the running loss of an unbounded sequence and reports the tightest
+// (eps, delta)-DP translation so far, without enforcing a bound.
+//
+// `PrivacyBlock` couples this accounting with data-block capacity and unlocking; the
+// standalone classes here serve per-task, per-user, or per-pipeline accounting.
+
+#ifndef SRC_RDP_ACCOUNTANT_H_
+#define SRC_RDP_ACCOUNTANT_H_
+
+#include <cstdint>
+
+#include "src/rdp/rdp_curve.h"
+
+namespace dpack {
+
+class PrivacyFilter {
+ public:
+  // A filter enforcing (eps_g, delta_g)-DP: the per-order budget is eps_g - log(1/delta_g)
+  // / (alpha - 1), exactly a block's capacity curve.
+  PrivacyFilter(const AlphaGridPtr& grid, double eps_g, double delta_g);
+
+  // A filter with an explicit per-order RDP budget.
+  explicit PrivacyFilter(RdpCurve budget);
+
+  // True iff charging `loss` keeps the cumulative consumption within budget at >= 1 usable
+  // order. Does not charge.
+  bool CanCharge(const RdpCurve& loss) const;
+
+  // Charges `loss` if admissible; returns whether it was charged. Once a charge is
+  // rejected, later smaller charges may still be accepted (the filter is not "halted") —
+  // rejection simply means that computation must not run.
+  bool TryCharge(const RdpCurve& loss);
+
+  const RdpCurve& budget() const { return budget_; }
+  const RdpCurve& consumed() const { return consumed_; }
+  uint64_t charges() const { return charges_; }
+
+  // Remaining budget per order, clamped at zero.
+  RdpCurve Remaining() const { return budget_.SaturatingSubtract(consumed_); }
+
+  // True when no usable order has strictly positive remaining budget.
+  bool Exhausted() const;
+
+ private:
+  RdpCurve budget_;
+  RdpCurve consumed_;
+  uint64_t charges_ = 0;
+};
+
+class PrivacyOdometer {
+ public:
+  explicit PrivacyOdometer(AlphaGridPtr grid);
+
+  // Unconditionally accumulates `loss`.
+  void Charge(const RdpCurve& loss);
+
+  const RdpCurve& consumed() const { return consumed_; }
+  uint64_t charges() const { return charges_; }
+
+  // Tightest traditional-DP translation of the loss so far (Eq. 2). Requires 0 < delta < 1.
+  DpTranslation CurrentDp(double delta) const { return consumed_.ToDp(delta); }
+
+ private:
+  RdpCurve consumed_;
+  uint64_t charges_ = 0;
+};
+
+}  // namespace dpack
+
+#endif  // SRC_RDP_ACCOUNTANT_H_

@@ -1,0 +1,48 @@
+#include "src/rdp/alpha_grid.h"
+
+#include "src/common/check.h"
+
+namespace dpack {
+
+AlphaGridPtr AlphaGrid::Create(std::vector<double> orders) {
+  DPACK_CHECK(!orders.empty());
+  for (size_t i = 0; i < orders.size(); ++i) {
+    DPACK_CHECK_MSG(orders[i] > 1.0, "RDP orders must be > 1");
+    if (i > 0) {
+      DPACK_CHECK_MSG(orders[i] > orders[i - 1], "RDP orders must be strictly increasing");
+    }
+  }
+  return AlphaGridPtr(new AlphaGrid(std::move(orders)));
+}
+
+AlphaGridPtr AlphaGrid::Default() {
+  static const AlphaGridPtr kDefault =
+      Create({1.5, 1.75, 2.0, 2.5, 3.0, 4.0, 5.0, 6.0, 8.0, 16.0, 32.0, 64.0});
+  return kDefault;
+}
+
+AlphaGridPtr AlphaGrid::TraditionalDp() {
+  static const AlphaGridPtr kTraditional = Create({2.0});
+  return kTraditional;
+}
+
+size_t AlphaGrid::IndexOf(double alpha) const {
+  for (size_t i = 0; i < orders_.size(); ++i) {
+    if (orders_[i] == alpha) {
+      return i;
+    }
+  }
+  return orders_.size();
+}
+
+bool SameGrid(const AlphaGridPtr& a, const AlphaGridPtr& b) {
+  if (a == b) {
+    return true;
+  }
+  if (a == nullptr || b == nullptr) {
+    return false;
+  }
+  return a->orders() == b->orders();
+}
+
+}  // namespace dpack

@@ -1,0 +1,51 @@
+// The discrete grid of Rényi orders on which dpack performs RDP accounting.
+//
+// Following Mironov [44] and the paper (§3.2), RDP epsilons are tracked at a small fixed set
+// of orders alpha > 1; composition is additive per order and translation to (eps, delta)-DP
+// picks the most favourable order. Traditional DP is modelled as a grid with a single order.
+
+#ifndef SRC_RDP_ALPHA_GRID_H_
+#define SRC_RDP_ALPHA_GRID_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace dpack {
+
+class AlphaGrid;
+using AlphaGridPtr = std::shared_ptr<const AlphaGrid>;
+
+// An immutable, strictly increasing list of Rényi orders, each > 1.
+class AlphaGrid {
+ public:
+  // Creates a grid from the given orders. Requires all orders > 1 and strictly increasing.
+  static AlphaGridPtr Create(std::vector<double> orders);
+
+  // The standard 12-order grid used by DP ML platforms and the paper:
+  // {1.5, 1.75, 2, 2.5, 3, 4, 5, 6, 8, 16, 32, 64}. Returns a process-wide shared instance.
+  static AlphaGridPtr Default();
+
+  // A single-order grid modelling traditional (non-Rényi) DP accounting. The order value is
+  // irrelevant for scheduling semantics (there is no "exists alpha" choice); we use 2.
+  static AlphaGridPtr TraditionalDp();
+
+  size_t size() const { return orders_.size(); }
+  double order(size_t i) const { return orders_[i]; }
+  const std::vector<double>& orders() const { return orders_; }
+
+  // Returns the index of `alpha` in the grid, or size() if absent (exact comparison).
+  size_t IndexOf(double alpha) const;
+
+ private:
+  explicit AlphaGrid(std::vector<double> orders) : orders_(std::move(orders)) {}
+
+  std::vector<double> orders_;
+};
+
+// True if the two grids are the same object or contain identical orders.
+bool SameGrid(const AlphaGridPtr& a, const AlphaGridPtr& b);
+
+}  // namespace dpack
+
+#endif  // SRC_RDP_ALPHA_GRID_H_

@@ -1,0 +1,110 @@
+#include "src/sim/sim_driver.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/core/fairness.h"
+#include "src/sim/simulation.h"
+
+namespace dpack {
+
+namespace {
+
+AlphaGridPtr GridOrDefault(const SimConfig& config) {
+  return config.grid != nullptr ? config.grid : AlphaGrid::Default();
+}
+
+}  // namespace
+
+SimResult RunOnlineSimulation(std::unique_ptr<Scheduler> scheduler, std::vector<Task> tasks,
+                              const SimConfig& config) {
+  DPACK_CHECK(scheduler != nullptr);
+  DPACK_CHECK(config.num_blocks > 0);
+  DPACK_CHECK(config.block_interval > 0.0);
+
+  BlockManager blocks(GridOrDefault(config), config.eps_g, config.delta_g);
+  OnlineSchedulerConfig online_config;
+  online_config.period = config.period;
+  online_config.unlock_steps = config.unlock_steps;
+  online_config.fair_share_n = config.fair_share_n;
+  OnlineScheduler online(std::move(scheduler), &blocks, online_config);
+
+  Simulation sim;
+  // Block arrivals.
+  for (size_t b = 0; b < config.num_blocks; ++b) {
+    double t = static_cast<double>(b) * config.block_interval;
+    sim.At(t, EventPriority::kBlockArrival, [&blocks, &sim] { blocks.AddBlock(sim.now()); });
+  }
+  // Task arrivals.
+  double last_arrival = 0.0;
+  for (Task& task : tasks) {
+    last_arrival = std::max(last_arrival, task.arrival_time);
+  }
+  for (Task& task : tasks) {
+    double t = task.arrival_time;
+    Task* task_ptr = &task;
+    sim.At(t, EventPriority::kTaskArrival,
+           [&online, task_ptr] { online.Submit(std::move(*task_ptr)); });
+  }
+  // Scheduling cycles: every `period` from t = 0 until every block is fully unlocked and the
+  // last arrival has been seen, plus a drain margin.
+  double last_block_arrival = static_cast<double>(config.num_blocks - 1) * config.block_interval;
+  double horizon = std::max(last_arrival, last_block_arrival) +
+                   config.period * static_cast<double>(config.unlock_steps) +
+                   config.period * config.drain_margin;
+  if (config.horizon_override > 0.0) {
+    horizon = config.horizon_override;
+  }
+  size_t cycles = 0;
+  for (double t = 0.0; t <= horizon; t += config.period) {
+    sim.At(t, EventPriority::kScheduling, [&online, &sim, &cycles] {
+      online.RunCycle(sim.now());
+      ++cycles;
+    });
+  }
+  double end_time = sim.Run();
+
+  SimResult result;
+  result.metrics = online.metrics();
+  result.blocks_created = blocks.block_count();
+  result.end_time = end_time;
+  result.cycles_run = cycles;
+  result.pending_at_end = online.pending_count();
+  return result;
+}
+
+SimResult RunOfflineSchedule(Scheduler& scheduler, std::vector<Task> tasks,
+                             const SimConfig& config) {
+  DPACK_CHECK(config.num_blocks > 0);
+  BlockManager blocks(GridOrDefault(config), config.eps_g, config.delta_g);
+  for (size_t b = 0; b < config.num_blocks; ++b) {
+    blocks.AddBlock(0.0, /*unlocked=*/true);
+  }
+  int64_t fair_n = config.fair_share_n > 0 ? config.fair_share_n : config.unlock_steps;
+
+  SimResult result;
+  for (Task& task : tasks) {
+    if (task.blocks.empty() && task.num_recent_blocks > 0) {
+      task.blocks = blocks.MostRecentBlocks(task.num_recent_blocks);
+    }
+    result.metrics.RecordSubmission(task.weight, IsFairShareTask(task, blocks, fair_n));
+  }
+  auto start = std::chrono::steady_clock::now();
+  std::vector<size_t> granted = scheduler.ScheduleBatch(tasks, blocks);
+  double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  result.metrics.RecordCycleRuntime(seconds);
+  for (size_t idx : granted) {
+    result.metrics.RecordAllocation(tasks[idx].weight, 0.0,
+                                    IsFairShareTask(tasks[idx], blocks, fair_n));
+  }
+  result.blocks_created = blocks.block_count();
+  result.end_time = 0.0;
+  result.cycles_run = 1;
+  result.pending_at_end = tasks.size() - granted.size();
+  return result;
+}
+
+}  // namespace dpack

@@ -1,0 +1,42 @@
+#include "src/sim/simulation.h"
+
+#include "src/common/check.h"
+
+namespace dpack {
+
+void Simulation::At(double time, EventPriority priority, Callback fn) {
+  DPACK_CHECK_MSG(time >= now_, "cannot schedule events in the past");
+  queue_.push(Event{time, static_cast<int>(priority), next_sequence_++, std::move(fn)});
+}
+
+void Simulation::After(double delay, EventPriority priority, Callback fn) {
+  DPACK_CHECK(delay >= 0.0);
+  At(now_ + delay, priority, std::move(fn));
+}
+
+double Simulation::Run() {
+  while (!queue_.empty()) {
+    Event event = queue_.top();
+    queue_.pop();
+    now_ = event.time;
+    ++events_processed_;
+    event.fn();
+  }
+  return now_;
+}
+
+double Simulation::RunUntil(double horizon) {
+  while (!queue_.empty() && queue_.top().time <= horizon) {
+    Event event = queue_.top();
+    queue_.pop();
+    now_ = event.time;
+    ++events_processed_;
+    event.fn();
+  }
+  if (now_ < horizon) {
+    now_ = horizon;
+  }
+  return now_;
+}
+
+}  // namespace dpack

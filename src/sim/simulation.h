@@ -1,0 +1,72 @@
+// Discrete-event simulation engine with virtual time (§5's simulator substrate).
+//
+// Events fire in (time, priority, insertion order) order; priorities break same-timestamp
+// ties so that, e.g., block arrivals are visible to the scheduling cycle that runs at the
+// same instant. Arbitrary callbacks may schedule further events.
+
+#ifndef SRC_SIM_SIMULATION_H_
+#define SRC_SIM_SIMULATION_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace dpack {
+
+// Standard event priorities: lower value fires first at equal timestamps.
+enum class EventPriority : int {
+  kBlockArrival = 0,
+  kTaskArrival = 1,
+  kScheduling = 2,
+  kReporting = 3,
+};
+
+class Simulation {
+ public:
+  using Callback = std::function<void()>;
+
+  double now() const { return now_; }
+  size_t events_processed() const { return events_processed_; }
+
+  // Schedules `fn` at absolute virtual time `time` (>= now).
+  void At(double time, EventPriority priority, Callback fn);
+
+  // Schedules `fn` at now + delay (delay >= 0).
+  void After(double delay, EventPriority priority, Callback fn);
+
+  // Runs until the event queue drains. Returns the final virtual time.
+  double Run();
+
+  // Runs until the queue drains or virtual time would exceed `horizon`; events scheduled
+  // after the horizon remain unprocessed.
+  double RunUntil(double horizon);
+
+ private:
+  struct Event {
+    double time;
+    int priority;
+    uint64_t sequence;
+    Callback fn;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      if (a.priority != b.priority) {
+        return a.priority > b.priority;
+      }
+      return a.sequence > b.sequence;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  double now_ = 0.0;
+  uint64_t next_sequence_ = 0;
+  size_t events_processed_ = 0;
+};
+
+}  // namespace dpack
+
+#endif  // SRC_SIM_SIMULATION_H_

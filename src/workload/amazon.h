@@ -1,0 +1,47 @@
+// The Amazon-Reviews-style macrobenchmark from PrivateKube [40], as summarized in §6.3:
+// 42 task types — 24 neural-network trainings (compositions of subsampled Gaussians) and 18
+// summary statistics (Laplace mechanisms) — arriving as a Poisson process and requesting the
+// most recent blocks. The published marginals this generator reproduces:
+//   ~63% of tasks request exactly 1 block, ~95% request <= 5, max 50;
+//   best alphas concentrate on {4, 5}, ~81% at 5;
+//   optional weights: large (NN) tasks uniform {10, 50, 100, 500}, small (statistics) tasks
+//   uniform {1, 5, 10, 50} (Fig. 7(b)).
+
+#ifndef SRC_WORKLOAD_AMAZON_H_
+#define SRC_WORKLOAD_AMAZON_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/task.h"
+#include "src/workload/curve_pool.h"
+
+namespace dpack {
+
+struct AmazonConfig {
+  // Mean task arrivals per block interval (the x-axis of Fig. 7).
+  double mean_tasks_per_block = 500.0;
+  // Arrival window in block intervals; total tasks ~ mean_tasks_per_block * arrival_span.
+  double arrival_span = 20.0;
+  // When true, tasks get the paper's random weight grids; otherwise weight 1.
+  bool weighted = false;
+  uint64_t seed = 1;
+};
+
+// One of the 42 fixed task types.
+struct AmazonTaskType {
+  MechanismSpec mechanism;
+  double eps_min = 0.01;        // Normalized demand at best alpha.
+  size_t num_recent_blocks = 1;
+  bool is_large = false;        // NN (large) vs statistics (small).
+};
+
+// The fixed catalog of 42 task types (24 NN + 18 statistics).
+std::vector<AmazonTaskType> AmazonTaskCatalog();
+
+// Generates tasks by sampling types uniformly at Poisson arrival times.
+std::vector<Task> GenerateAmazon(const CurvePool& pool, const AmazonConfig& config);
+
+}  // namespace dpack
+
+#endif  // SRC_WORKLOAD_AMAZON_H_

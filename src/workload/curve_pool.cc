@@ -1,0 +1,209 @@
+#include "src/workload/curve_pool.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/check.h"
+
+namespace dpack {
+
+namespace {
+
+// 5 analytic families x 120 + 20 calibrated curves = 620 curves (§6.2).
+constexpr size_t kCurvesPerFamily = 120;
+constexpr size_t kCalibratedCurves = 20;
+
+// Log-spaced parameter sweep: count values from lo to hi inclusive.
+std::vector<double> LogSpace(double lo, double hi, size_t count) {
+  DPACK_CHECK(lo > 0.0 && hi > lo && count >= 2);
+  std::vector<double> values(count);
+  double step = std::log(hi / lo) / static_cast<double>(count - 1);
+  for (size_t i = 0; i < count; ++i) {
+    values[i] = lo * std::exp(step * static_cast<double>(i));
+  }
+  return values;
+}
+
+}  // namespace
+
+CurvePool::CurvePool(AlphaGridPtr grid, RdpCurve capacity)
+    : grid_(std::move(grid)), capacity_(std::move(capacity)) {
+  DPACK_CHECK(SameGrid(grid_, capacity_.grid()));
+  curves_.reserve(5 * kCurvesPerFamily);
+
+  // Family 1: Laplace. Small scales are tight at large alpha, large scales at mid alpha.
+  for (double b : LogSpace(0.05, 50.0, kCurvesPerFamily)) {
+    AddCurve({MechanismType::kLaplace, b, 0.0, 1});
+  }
+  // Family 2: Gaussian. Best alpha moves with sigma against the capacity profile.
+  for (double sigma : LogSpace(0.3, 60.0, kCurvesPerFamily)) {
+    AddCurve({MechanismType::kGaussian, sigma, 0.0, 1});
+  }
+  // Family 3: Subsampled Gaussian (DP-SGD-like): 31 sigmas x 4 sampling rates.
+  {
+    std::vector<double> qs = {0.001, 0.01, 0.05, 0.2};
+    for (double sigma : LogSpace(0.5, 20.0, kCurvesPerFamily / qs.size())) {
+      for (double q : qs) {
+        AddCurve({MechanismType::kSubsampledGaussian, sigma, q, 1});
+      }
+    }
+  }
+  // Family 4: Subsampled Laplace: 31 scales x 4 sampling rates.
+  {
+    std::vector<double> qs = {0.001, 0.01, 0.05, 0.2};
+    for (double b : LogSpace(0.1, 20.0, kCurvesPerFamily / qs.size())) {
+      for (double q : qs) {
+        AddCurve({MechanismType::kSubsampledLaplace, b, q, 1});
+      }
+    }
+  }
+  // Family 5: composition of one Laplace and one Gaussian at a shared noise parameter.
+  for (double noise : LogSpace(0.2, 40.0, kCurvesPerFamily)) {
+    AddCurve({MechanismType::kLaplaceGaussianComposition, noise, 0.0, 1});
+  }
+  // Calibrated curves guaranteeing that every usable order anchors a non-empty bucket (the
+  // paper enforces at least one curve per best alpha in {3,...,64}). V-shaped in normalized
+  // share space: the minimum sits at the pinned order, with a configurable slope per rank
+  // step, and a base level of 0.08 (above the 0.05 outlier threshold).
+  {
+    std::vector<size_t> usable;
+    for (size_t a = 0; a < grid_->size(); ++a) {
+      if (capacity_.epsilon(a) > 0.0) {
+        usable.push_back(a);
+      }
+    }
+    DPACK_CHECK(!usable.empty());
+    size_t added = 0;
+    for (double slope : {0.03, 0.06}) {
+      for (size_t rank = 0; rank < usable.size() && added < kCalibratedCurves; ++rank) {
+        AddCalibratedCurve(usable, rank, slope);
+        ++added;
+      }
+    }
+    // Top up to the exact count by revisiting orders with a third slope.
+    for (size_t rank = 0; added < kCalibratedCurves; ++rank) {
+      AddCalibratedCurve(usable, rank % usable.size(), 0.10);
+      ++added;
+    }
+  }
+  DPACK_CHECK(curves_.size() == 5 * kCurvesPerFamily + kCalibratedCurves);
+
+  // Bucket curves by best alpha over the usable orders. Outliers with a raw normalized
+  // eps_min below 0.05 are dropped from the buckets (the paper's rule, §6.2): keeping only
+  // high-level curves means the vertical shift to a small eps_min target leaves large
+  // absolute share gaps between orders — the "high diversity in eps(alpha)" regime.
+  constexpr double kOutlierEpsMin = 0.05;
+  std::vector<std::vector<size_t>> by_order(grid_->size());
+  for (size_t i = 0; i < curves_.size(); ++i) {
+    if (NormalizedEpsMin(curves_[i]) < kOutlierEpsMin) {
+      continue;
+    }
+    by_order[best_alpha_[i]].push_back(i);
+  }
+  for (size_t a = 0; a < grid_->size(); ++a) {
+    if (!by_order[a].empty()) {
+      bucket_order_index_.push_back(a);
+      buckets_.push_back(std::move(by_order[a]));
+    }
+  }
+  DPACK_CHECK_MSG(!buckets_.empty(), "curve pool produced no usable curves");
+}
+
+void CurvePool::AddCalibratedCurve(const std::vector<size_t>& usable_orders, size_t min_rank,
+                                   double slope_per_rank) {
+  constexpr double kBaseShare = 0.08;
+  std::vector<double> demand(grid_->size(), 0.0);
+  for (size_t r = 0; r < usable_orders.size(); ++r) {
+    size_t a = usable_orders[r];
+    double rank_distance = static_cast<double>(r > min_rank ? r - min_rank : min_rank - r);
+    double share = kBaseShare + slope_per_rank * rank_distance;
+    demand[a] = share * capacity_.epsilon(a);
+  }
+  curves_.push_back(RdpCurve(grid_, std::move(demand)));
+  MechanismSpec spec;
+  spec.type = MechanismType::kCalibratedVShape;
+  spec.noise = slope_per_rank;
+  specs_.push_back(spec);
+  best_alpha_.push_back(usable_orders[min_rank]);
+}
+
+void CurvePool::AddCurve(MechanismSpec spec) {
+  RdpCurve curve = spec.BuildCurve(grid_);
+  // Best alpha against the reference capacity: argmin over usable orders of d/c.
+  size_t best = grid_->size();
+  double best_share = std::numeric_limits<double>::infinity();
+  for (size_t a = 0; a < grid_->size(); ++a) {
+    double c = capacity_.epsilon(a);
+    if (c <= 0.0) {
+      continue;
+    }
+    double share = curve.epsilon(a) / c;
+    if (share < best_share) {
+      best_share = share;
+      best = a;
+    }
+  }
+  DPACK_CHECK_MSG(best < grid_->size(), "no usable order under the reference capacity");
+  curves_.push_back(std::move(curve));
+  specs_.push_back(spec);
+  best_alpha_.push_back(best);
+}
+
+double CurvePool::bucket_alpha(size_t b) const {
+  DPACK_CHECK(b < bucket_order_index_.size());
+  return grid_->order(bucket_order_index_[b]);
+}
+
+size_t CurvePool::BucketNearestAlpha(double alpha) const {
+  size_t best = 0;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (size_t b = 0; b < bucket_order_index_.size(); ++b) {
+    double dist = std::abs(bucket_alpha(b) - alpha);
+    if (dist < best_dist) {
+      best_dist = dist;
+      best = b;
+    }
+  }
+  return best;
+}
+
+RdpCurve CurvePool::ScaledToEpsMin(size_t i, double eps_min) const {
+  DPACK_CHECK(i < curves_.size());
+  DPACK_CHECK(eps_min > 0.0);
+  double current = NormalizedEpsMin(curves_[i]);
+  DPACK_CHECK_MSG(current > 0.0, "cannot rescale a zero curve");
+  return curves_[i].Scaled(eps_min / current);
+}
+
+RdpCurve CurvePool::ShiftedToEpsMin(size_t i, double eps_min) const {
+  DPACK_CHECK(i < curves_.size());
+  DPACK_CHECK(eps_min > 0.0);
+  double shift = NormalizedEpsMin(curves_[i]) - eps_min;
+  std::vector<double> demand(grid_->size(), 0.0);
+  for (size_t a = 0; a < grid_->size(); ++a) {
+    double c = capacity_.epsilon(a);
+    if (c <= 0.0) {
+      // Unusable order: keep the raw demand (it can never be the packing order anyway).
+      demand[a] = curves_[i].epsilon(a);
+      continue;
+    }
+    double share = curves_[i].epsilon(a) / c - shift;
+    demand[a] = std::max(0.0, share) * c;
+  }
+  return RdpCurve(grid_, std::move(demand));
+}
+
+double CurvePool::NormalizedEpsMin(const RdpCurve& curve) const {
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t a = 0; a < grid_->size(); ++a) {
+    double c = capacity_.epsilon(a);
+    if (c <= 0.0) {
+      continue;
+    }
+    best = std::min(best, curve.epsilon(a) / c);
+  }
+  return best;
+}
+
+}  // namespace dpack

@@ -1,0 +1,79 @@
+// The microbenchmark's RDP curve pool (§6.2): 620 curves drawn from five mechanism families
+// {Laplace, Subsampled Laplace, Gaussian, Subsampled Gaussian, Laplace+Gaussian composition},
+// bucketed by "best alpha" — the order minimizing the capacity-normalized demand d(a)/c(a)
+// against a reference block budget — and rescalable to any target eps_min (the minimum
+// normalized demand).
+//
+// Rescaling is multiplicative, which preserves each curve's best alpha exactly (the paper
+// shifts curves up or down with the same intent).
+
+#ifndef SRC_WORKLOAD_CURVE_POOL_H_
+#define SRC_WORKLOAD_CURVE_POOL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/rdp/mechanisms.h"
+#include "src/rdp/rdp_curve.h"
+
+namespace dpack {
+
+class CurvePool {
+ public:
+  // Builds the pool against `capacity` (the per-order budget of a reference block, e.g.
+  // BlockCapacityCurve(grid, 10, 1e-7)). Buckets cover every usable order (capacity > 0).
+  CurvePool(AlphaGridPtr grid, RdpCurve capacity);
+
+  size_t size() const { return curves_.size(); }
+  const AlphaGridPtr& grid() const { return grid_; }
+  const RdpCurve& capacity() const { return capacity_; }
+  const RdpCurve& curve(size_t i) const { return curves_[i]; }
+  const MechanismSpec& spec(size_t i) const { return specs_[i]; }
+
+  // Grid-order index minimizing d(a)/c(a) over usable orders for curve i.
+  size_t BestAlphaIndex(size_t i) const { return best_alpha_[i]; }
+
+  // Bucketing by best alpha: bucket_orders()[b] is the grid-order index of bucket b;
+  // bucket(b) lists curve indices whose best alpha is that order. Only non-empty buckets are
+  // kept, in increasing order.
+  size_t bucket_count() const { return buckets_.size(); }
+  const std::vector<size_t>& bucket(size_t b) const { return buckets_[b]; }
+  size_t bucket_order_index(size_t b) const { return bucket_order_index_[b]; }
+  double bucket_alpha(size_t b) const;
+
+  // Index of the bucket whose order is nearest to `alpha` (the paper centers sampling on the
+  // alpha = 5 bucket).
+  size_t BucketNearestAlpha(double alpha) const;
+
+  // Curve i scaled (multiplicatively) so its minimum normalized demand min_a d(a)/c(a)
+  // equals eps_min (> 0). Preserves the normalized *shape* exactly.
+  RdpCurve ScaledToEpsMin(size_t i, double eps_min) const;
+
+  // Curve i shifted vertically in normalized-share space so the minimum share equals
+  // eps_min: share'(a) = max(0, share(a) - (min share - eps_min)). This is the paper's
+  // rescaling (§6.2, "shifting the curves up or down"): it preserves the best alpha and the
+  // *absolute* share gaps between orders, so small eps_min targets yield high diversity in
+  // eps(alpha) — the regime where best-alpha heterogeneity matters (Fig. 4(b)).
+  RdpCurve ShiftedToEpsMin(size_t i, double eps_min) const;
+
+  // Minimum normalized demand of an arbitrary curve against this pool's capacity.
+  double NormalizedEpsMin(const RdpCurve& curve) const;
+
+ private:
+  void AddCurve(MechanismSpec spec);
+  // Adds a synthetic V-shaped curve whose best alpha is usable_orders[min_rank].
+  void AddCalibratedCurve(const std::vector<size_t>& usable_orders, size_t min_rank,
+                          double slope_per_rank);
+
+  AlphaGridPtr grid_;
+  RdpCurve capacity_;
+  std::vector<RdpCurve> curves_;
+  std::vector<MechanismSpec> specs_;
+  std::vector<size_t> best_alpha_;
+  std::vector<std::vector<size_t>> buckets_;
+  std::vector<size_t> bucket_order_index_;
+};
+
+}  // namespace dpack
+
+#endif  // SRC_WORKLOAD_CURVE_POOL_H_

@@ -1,0 +1,101 @@
+#include "src/workload/trace_io.h"
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "src/common/check.h"
+
+namespace dpack {
+
+namespace {
+
+constexpr char kMagic[] = "dpack_trace_v1";
+
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  std::istringstream stream(line);
+  while (std::getline(stream, cell, ',')) {
+    cells.push_back(cell);
+  }
+  return cells;
+}
+
+}  // namespace
+
+bool WriteTrace(std::ostream& os, std::span<const Task> tasks, const AlphaGridPtr& grid) {
+  os << kMagic;
+  for (double alpha : grid->orders()) {
+    os << "," << alpha;
+  }
+  os << "\n";
+  os << "id,weight,arrival_time,timeout,num_recent_blocks";
+  for (size_t a = 0; a < grid->size(); ++a) {
+    os << ",eps_a" << grid->order(a);
+  }
+  os << "\n";
+  os.precision(17);
+  for (const Task& task : tasks) {
+    DPACK_CHECK_MSG(SameGrid(task.demand.grid(), grid), "task grid mismatch");
+    size_t recent = task.blocks.empty() ? task.num_recent_blocks : task.blocks.size();
+    os << task.id << "," << task.weight << "," << task.arrival_time << ","
+       << (std::isinf(task.timeout) ? -1.0 : task.timeout) << "," << recent;
+    for (size_t a = 0; a < grid->size(); ++a) {
+      os << "," << task.demand.epsilon(a);
+    }
+    os << "\n";
+  }
+  return static_cast<bool>(os);
+}
+
+bool WriteTraceFile(const std::string& path, std::span<const Task> tasks,
+                    const AlphaGridPtr& grid) {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  return WriteTrace(out, tasks, grid);
+}
+
+std::vector<Task> ReadTrace(std::istream& is, const AlphaGridPtr& grid) {
+  std::string line;
+  DPACK_CHECK_MSG(std::getline(is, line), "empty trace");
+  std::vector<std::string> header = SplitCsvLine(line);
+  DPACK_CHECK_MSG(!header.empty() && header[0] == kMagic, "not a dpack trace");
+  DPACK_CHECK_MSG(header.size() == grid->size() + 1, "trace grid size mismatch");
+  for (size_t a = 0; a < grid->size(); ++a) {
+    DPACK_CHECK_MSG(std::stod(header[a + 1]) == grid->order(a), "trace grid order mismatch");
+  }
+  DPACK_CHECK_MSG(std::getline(is, line), "missing column header");
+
+  std::vector<Task> tasks;
+  while (std::getline(is, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    std::vector<std::string> cells = SplitCsvLine(line);
+    DPACK_CHECK_MSG(cells.size() == 5 + grid->size(), "malformed trace row");
+    std::vector<double> eps(grid->size());
+    for (size_t a = 0; a < grid->size(); ++a) {
+      eps[a] = std::stod(cells[5 + a]);
+    }
+    Task task(static_cast<TaskId>(std::stoll(cells[0])), std::stod(cells[1]),
+              RdpCurve(grid, std::move(eps)));
+    task.arrival_time = std::stod(cells[2]);
+    double timeout = std::stod(cells[3]);
+    task.timeout = timeout < 0.0 ? std::numeric_limits<double>::infinity() : timeout;
+    task.num_recent_blocks = static_cast<size_t>(std::stoull(cells[4]));
+    tasks.push_back(std::move(task));
+  }
+  return tasks;
+}
+
+std::vector<Task> ReadTraceFile(const std::string& path, const AlphaGridPtr& grid) {
+  std::ifstream in(path);
+  DPACK_CHECK_MSG(static_cast<bool>(in), "cannot open trace file");
+  return ReadTrace(in, grid);
+}
+
+}  // namespace dpack

@@ -1,0 +1,72 @@
+#include "src/workload/workload_stats.h"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "src/common/check.h"
+
+namespace dpack {
+
+double WorkloadStats::FractionRequestingAtMost(size_t k) const {
+  if (num_tasks == 0) {
+    return 0.0;
+  }
+  size_t count = 0;
+  for (size_t b = 0; b < block_count_histogram.size() && b <= k; ++b) {
+    count += block_count_histogram[b];
+  }
+  return static_cast<double>(count) / static_cast<double>(num_tasks);
+}
+
+std::string WorkloadStats::Summary(const AlphaGridPtr& grid) const {
+  std::ostringstream os;
+  os << "tasks=" << num_tasks << " mean_blocks=" << blocks_per_task.mean()
+     << " blocks_cv=" << blocks_per_task.variation_coefficient()
+     << " mean_eps_min=" << eps_min.mean() << "\nbest alpha distribution:";
+  for (size_t a = 0; a < best_alpha_counts.size(); ++a) {
+    if (best_alpha_counts[a] > 0) {
+      os << " a=" << grid->order(a) << ":"
+         << (100.0 * static_cast<double>(best_alpha_counts[a]) /
+             static_cast<double>(num_tasks))
+         << "%";
+    }
+  }
+  return os.str();
+}
+
+WorkloadStats ComputeWorkloadStats(std::span<const Task> tasks, const RdpCurve& capacity) {
+  WorkloadStats stats;
+  stats.num_tasks = tasks.size();
+  stats.best_alpha_counts.assign(capacity.size(), 0);
+  size_t max_blocks = 1;
+  for (const Task& task : tasks) {
+    max_blocks = std::max(max_blocks,
+                          std::max(task.blocks.size(), task.num_recent_blocks));
+  }
+  stats.block_count_histogram.assign(max_blocks + 1, 0);
+
+  for (const Task& task : tasks) {
+    size_t blocks = task.blocks.empty() ? task.num_recent_blocks : task.blocks.size();
+    stats.blocks_per_task.Add(static_cast<double>(blocks));
+    ++stats.block_count_histogram[blocks];
+
+    double best_share = std::numeric_limits<double>::infinity();
+    size_t best_alpha = 0;
+    for (size_t a = 0; a < capacity.size(); ++a) {
+      if (capacity.epsilon(a) <= 0.0) {
+        continue;
+      }
+      double share = task.demand.epsilon(a) / capacity.epsilon(a);
+      if (share < best_share) {
+        best_share = share;
+        best_alpha = a;
+      }
+    }
+    stats.eps_min.Add(best_share);
+    ++stats.best_alpha_counts[best_alpha];
+  }
+  return stats;
+}
+
+}  // namespace dpack

@@ -1,0 +1,137 @@
+#include "src/block/privacy_block.h"
+
+#include <gtest/gtest.h>
+
+#include "src/rdp/mechanisms.h"
+
+namespace dpack {
+namespace {
+
+AlphaGridPtr Grid() { return AlphaGrid::Default(); }
+
+RdpCurve FlatDemand(double eps) {
+  return RdpCurve(Grid(), std::vector<double>(Grid()->size(), eps));
+}
+
+TEST(PrivacyBlockTest, CapacityFromGlobalGuarantee) {
+  PrivacyBlock block(0, Grid(), 10.0, 1e-7, 0.0);
+  RdpCurve expected = BlockCapacityCurve(Grid(), 10.0, 1e-7);
+  for (size_t i = 0; i < Grid()->size(); ++i) {
+    EXPECT_DOUBLE_EQ(block.capacity().epsilon(i), expected.epsilon(i));
+  }
+  EXPECT_TRUE(block.consumed().IsZero());
+  EXPECT_DOUBLE_EQ(block.unlocked_fraction(), 1.0);
+}
+
+TEST(PrivacyBlockTest, AcceptsWithinCapacityAtSomeOrder) {
+  PrivacyBlock block(0, Grid(), 10.0, 1e-7, 0.0);
+  // Flat demand of 5: fits at large alphas (capacity ~9.7) even though low alphas have
+  // zero capacity — the exists-alpha semantic.
+  EXPECT_TRUE(block.CanAccept(FlatDemand(5.0)));
+  // Flat demand of 11 exceeds every order (max capacity < 10).
+  EXPECT_FALSE(block.CanAccept(FlatDemand(11.0)));
+}
+
+TEST(PrivacyBlockTest, CommitAccumulatesAndDepletes) {
+  PrivacyBlock block(0, Grid(), 10.0, 1e-7, 0.0);
+  RdpCurve demand = FlatDemand(4.0);
+  EXPECT_TRUE(block.CanAccept(demand));
+  block.Commit(demand);
+  EXPECT_TRUE(block.CanAccept(demand));  // 8 still fits at alpha = 64 (cap 9.74).
+  block.Commit(demand);
+  EXPECT_FALSE(block.CanAccept(demand));  // 12 exceeds every order.
+}
+
+TEST(PrivacyBlockTest, ExistsAlphaSemanticOverspendsOtherOrders) {
+  // A demand tailored to alpha = 64 can exceed capacity at every other order and still be
+  // admitted as long as alpha = 64 holds.
+  PrivacyBlock block(0, Grid(), 10.0, 1e-7, 0.0);
+  std::vector<double> eps(Grid()->size(), 1000.0);
+  eps[Grid()->IndexOf(64.0)] = 1.0;
+  RdpCurve demand(Grid(), eps);
+  EXPECT_TRUE(block.CanAccept(demand));
+  block.Commit(demand);
+  EXPECT_TRUE(block.CanAccept(demand));
+  for (int i = 0; i < 8; ++i) {
+    block.Commit(demand);  // 9 total: 9 <= 9.74 at alpha = 64.
+  }
+  EXPECT_FALSE(block.CanAccept(demand));  // 10 > 9.74.
+}
+
+TEST(PrivacyBlockTest, AvailableCurveClampsAtZero) {
+  PrivacyBlock block(0, Grid(), 10.0, 1e-7, 0.0);
+  std::vector<double> eps(Grid()->size(), 20.0);
+  eps[Grid()->IndexOf(64.0)] = 1.0;
+  block.Commit(RdpCurve(Grid(), eps));
+  RdpCurve available = block.AvailableCurve();
+  for (size_t i = 0; i < available.size(); ++i) {
+    EXPECT_GE(available.epsilon(i), 0.0);
+  }
+  EXPECT_NEAR(available.epsilon(Grid()->IndexOf(64.0)),
+              block.capacity().epsilon(Grid()->IndexOf(64.0)) - 1.0, 1e-12);
+  // Orders where consumption exceeded capacity have zero available budget.
+  EXPECT_DOUBLE_EQ(available.epsilon(Grid()->IndexOf(8.0)), 0.0);
+}
+
+TEST(PrivacyBlockTest, UnlockingGatesAdmission) {
+  PrivacyBlock block(0, Grid(), 10.0, 1e-7, 0.0, /*initial_unlocked=*/0.0);
+  RdpCurve demand = FlatDemand(0.5);
+  EXPECT_FALSE(block.CanAccept(demand));
+  // 10% unlocked: alpha = 64 capacity is ~0.974 >= 0.5.
+  block.SetUnlockedFraction(0.1);
+  EXPECT_TRUE(block.CanAccept(demand));
+}
+
+TEST(PrivacyBlockTest, UnlockingIsMonotone) {
+  PrivacyBlock block(0, Grid(), 10.0, 1e-7, 0.0, /*initial_unlocked=*/0.0);
+  block.SetUnlockedFraction(0.5);
+  block.SetUnlockedFraction(0.2);  // Stale update: ignored.
+  EXPECT_DOUBLE_EQ(block.unlocked_fraction(), 0.5);
+}
+
+TEST(PrivacyBlockTest, ZeroDemandAlwaysAccepted) {
+  PrivacyBlock block(0, Grid(), 10.0, 1e-7, 0.0);
+  block.SetUnlockedFraction(0.1);
+  EXPECT_TRUE(block.CanAccept(RdpCurve(Grid())));
+}
+
+TEST(PrivacyBlockTest, ExhaustedDetection) {
+  PrivacyBlock block(0, Grid(), 10.0, 1e-7, 0.0);
+  EXPECT_FALSE(block.Exhausted());
+  // A demand that exactly exhausts alpha = 64 and overshoots every other order leaves no
+  // strictly positive remaining capacity anywhere.
+  std::vector<double> eps(Grid()->size(), 100.0);
+  size_t i64 = Grid()->IndexOf(64.0);
+  eps[i64] = block.capacity().epsilon(i64);
+  block.Commit(RdpCurve(Grid(), eps));
+  EXPECT_TRUE(block.Exhausted());
+}
+
+TEST(PrivacyBlockDeathTest, CommitRejectedDemandAborts) {
+  PrivacyBlock block(0, Grid(), 10.0, 1e-7, 0.0);
+  EXPECT_DEATH(block.Commit(FlatDemand(11.0)), "filter");
+}
+
+TEST(PrivacyBlockTest, FilterGuaranteePreservedUnderAdaptiveCommits) {
+  // Property 6: any sequence of admitted demands keeps at least one order within capacity,
+  // so translation at that order certifies the global (eps_g, delta_g) guarantee.
+  PrivacyBlock block(0, Grid(), 4.0, 1e-6, 0.0);
+  RdpCurve increments = GaussianCurve(Grid(), 6.0);
+  int admitted = 0;
+  while (block.CanAccept(increments) && admitted < 10000) {
+    block.Commit(increments);
+    ++admitted;
+  }
+  EXPECT_GT(admitted, 0);
+  bool some_order_within = false;
+  for (size_t i = 0; i < Grid()->size(); ++i) {
+    if (block.capacity().epsilon(i) > 0.0 &&
+        block.consumed().epsilon(i) <= block.capacity().epsilon(i)) {
+      some_order_within = true;
+    }
+  }
+  EXPECT_TRUE(some_order_within);
+}
+
+}  // namespace
+}  // namespace dpack

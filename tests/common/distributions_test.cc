@@ -1,0 +1,97 @@
+#include "src/common/distributions.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace dpack {
+namespace {
+
+TEST(DiscreteGaussianTest, ZeroStddevReturnsRoundedMean) {
+  Rng rng(1);
+  EXPECT_EQ(DiscreteGaussian(rng, 3.4, 0.0, 0, 10), 3);
+  EXPECT_EQ(DiscreteGaussian(rng, 3.6, 0.0, 0, 10), 4);
+}
+
+TEST(DiscreteGaussianTest, ClampsToRange) {
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = DiscreteGaussian(rng, 5.0, 50.0, 1, 10);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 10);
+  }
+}
+
+TEST(DiscreteGaussianTest, MeanApproximatelyCorrect) {
+  Rng rng(3);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(DiscreteGaussian(rng, 10.0, 2.0, -100, 100));
+  }
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(TruncatedDiscreteGaussianPmfTest, ZeroStddevIsPointMass) {
+  std::vector<double> pmf = TruncatedDiscreteGaussianPmf(5, 2.0, 0.0);
+  EXPECT_DOUBLE_EQ(pmf[2], 1.0);
+  EXPECT_DOUBLE_EQ(pmf[0] + pmf[1] + pmf[3] + pmf[4], 0.0);
+}
+
+TEST(TruncatedDiscreteGaussianPmfTest, ZeroStddevClampsCenter) {
+  std::vector<double> pmf = TruncatedDiscreteGaussianPmf(3, 10.0, 0.0);
+  EXPECT_DOUBLE_EQ(pmf[2], 1.0);
+}
+
+TEST(TruncatedDiscreteGaussianPmfTest, SumsToOne) {
+  std::vector<double> pmf = TruncatedDiscreteGaussianPmf(8, 3.0, 2.5);
+  double total = 0.0;
+  for (double p : pmf) {
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(TruncatedDiscreteGaussianPmfTest, PeaksAtCenter) {
+  std::vector<double> pmf = TruncatedDiscreteGaussianPmf(9, 4.0, 1.5);
+  for (size_t i = 0; i < pmf.size(); ++i) {
+    EXPECT_LE(pmf[i], pmf[4]);
+  }
+}
+
+TEST(TruncatedDiscreteGaussianPmfTest, SymmetricAroundCenter) {
+  std::vector<double> pmf = TruncatedDiscreteGaussianPmf(9, 4.0, 2.0);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(pmf[i], pmf[8 - i], 1e-12);
+  }
+}
+
+TEST(TruncatedDiscreteGaussianIndexTest, LargeStddevCoversRange) {
+  Rng rng(4);
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 4000; ++i) {
+    ++counts[TruncatedDiscreteGaussianIndex(rng, 4, 1.5, 100.0)];
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, 500);  // Near-uniform under a huge stddev.
+  }
+}
+
+TEST(PoissonProcessTest, ZeroRateNeverFires) {
+  PoissonProcess process(Rng(5), 0.0);
+  EXPECT_TRUE(std::isinf(process.InterArrival()));
+}
+
+TEST(PoissonProcessTest, MeanInterArrivalMatchesRate) {
+  PoissonProcess process(Rng(6), 4.0);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    sum += process.InterArrival();
+  }
+  EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+}  // namespace
+}  // namespace dpack

@@ -1,0 +1,173 @@
+#include "src/common/rng.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace dpack {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(), b.Uniform());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Uniform() == b.Uniform()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, ForkIsIndependentOfDrawPosition) {
+  Rng a(7);
+  Rng b(7);
+  a.Uniform();  // Advance a only.
+  Rng fork_a = a.Fork(3);
+  Rng fork_b = b.Fork(3);
+  EXPECT_DOUBLE_EQ(fork_a.Uniform(), fork_b.Uniform());
+}
+
+TEST(RngTest, ForkStreamsDiffer) {
+  Rng base(9);
+  Rng s1 = base.Fork(1);
+  Rng s2 = base.Fork(2);
+  EXPECT_NE(s1.Uniform(), s2.Uniform());
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.Uniform(2.0, 5.0);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(4);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(1, 3);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, GaussianMomentsApproximatelyCorrect) {
+  Rng rng(6);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.Gaussian(3.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  double mean = sum / n;
+  double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.1);
+}
+
+TEST(RngTest, GaussianZeroStddevIsDeterministic) {
+  Rng rng(6);
+  EXPECT_DOUBLE_EQ(rng.Gaussian(1.5, 0.0), 1.5);
+}
+
+TEST(RngTest, ParetoRespectsScale) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(rng.Pareto(2.0, 1.5), 2.0);
+  }
+}
+
+TEST(RngTest, PoissonMeanApproximatelyCorrect) {
+  Rng rng(10);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(rng.Poisson(4.0));
+  }
+  EXPECT_NEAR(sum / n, 4.0, 0.05);
+}
+
+TEST(RngTest, PoissonZeroMean) {
+  Rng rng(10);
+  EXPECT_EQ(rng.Poisson(0.0), 0);
+}
+
+TEST(RngTest, WeightedIndexRespectsZeroWeights) {
+  Rng rng(11);
+  std::vector<double> weights = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.WeightedIndex(weights), 1u);
+  }
+}
+
+TEST(RngTest, WeightedIndexProportions) {
+  Rng rng(12);
+  std::vector<double> weights = {1.0, 3.0};
+  int count1 = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.WeightedIndex(weights) == 1) {
+      ++count1;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(count1) / n, 0.75, 0.01);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinctSorted) {
+  Rng rng(13);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<size_t> sample = rng.SampleWithoutReplacement(20, 7);
+    ASSERT_EQ(sample.size(), 7u);
+    EXPECT_TRUE(std::is_sorted(sample.begin(), sample.end()));
+    std::set<size_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 7u);
+    for (size_t s : sample) {
+      EXPECT_LT(s, 20u);
+    }
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementFullRange) {
+  Rng rng(14);
+  std::vector<size_t> sample = rng.SampleWithoutReplacement(5, 5);
+  ASSERT_EQ(sample.size(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(sample[i], i);
+  }
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(15);
+  std::vector<int> items = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> shuffled = items;
+  rng.Shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, items);
+}
+
+}  // namespace
+}  // namespace dpack

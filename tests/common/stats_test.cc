@@ -1,0 +1,107 @@
+#include "src/common/stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace dpack {
+namespace {
+
+TEST(RunningStatTest, EmptyDefaults) {
+  RunningStat stat;
+  EXPECT_EQ(stat.count(), 0u);
+  EXPECT_DOUBLE_EQ(stat.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stat.variance(), 0.0);
+}
+
+TEST(RunningStatTest, SingleValue) {
+  RunningStat stat;
+  stat.Add(5.0);
+  EXPECT_EQ(stat.count(), 1u);
+  EXPECT_DOUBLE_EQ(stat.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stat.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stat.min(), 5.0);
+  EXPECT_DOUBLE_EQ(stat.max(), 5.0);
+}
+
+TEST(RunningStatTest, KnownMoments) {
+  RunningStat stat;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    stat.Add(x);
+  }
+  EXPECT_DOUBLE_EQ(stat.mean(), 5.0);
+  EXPECT_NEAR(stat.variance(), 32.0 / 7.0, 1e-12);  // Sample variance.
+  EXPECT_DOUBLE_EQ(stat.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stat.max(), 9.0);
+  EXPECT_DOUBLE_EQ(stat.sum(), 40.0);
+}
+
+TEST(RunningStatTest, VariationCoefficient) {
+  RunningStat stat;
+  stat.Add(1.0);
+  stat.Add(3.0);
+  // mean 2, sample stddev sqrt(2).
+  EXPECT_NEAR(stat.variation_coefficient(), std::sqrt(2.0) / 2.0, 1e-12);
+}
+
+TEST(SampleSetTest, QuantilesInterpolate) {
+  SampleSet set;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) {
+    set.Add(x);
+  }
+  EXPECT_DOUBLE_EQ(set.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(set.Quantile(1.0), 4.0);
+  EXPECT_DOUBLE_EQ(set.median(), 2.5);
+}
+
+TEST(SampleSetTest, CdfAt) {
+  SampleSet set;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) {
+    set.Add(x);
+  }
+  EXPECT_DOUBLE_EQ(set.CdfAt(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(set.CdfAt(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(set.CdfAt(10.0), 1.0);
+}
+
+TEST(SampleSetTest, CdfPointsMonotone) {
+  SampleSet set;
+  for (int i = 100; i > 0; --i) {
+    set.Add(static_cast<double>(i));
+  }
+  auto points = set.CdfPoints(10);
+  ASSERT_FALSE(points.empty());
+  for (size_t i = 1; i < points.size(); ++i) {
+    EXPECT_GE(points[i].first, points[i - 1].first);
+    EXPECT_GE(points[i].second, points[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(points.back().second, 1.0);
+}
+
+TEST(SampleSetTest, AddAfterQueryResorts) {
+  SampleSet set;
+  set.Add(3.0);
+  EXPECT_DOUBLE_EQ(set.median(), 3.0);
+  set.Add(1.0);
+  set.Add(2.0);
+  EXPECT_DOUBLE_EQ(set.median(), 2.0);
+}
+
+TEST(HistogramTest, BucketsAndOverflow) {
+  Histogram hist(0.0, 10.0, 5);
+  hist.Add(-1.0);
+  hist.Add(0.0);
+  hist.Add(1.9);
+  hist.Add(5.0);
+  hist.Add(10.0);
+  hist.Add(100.0);
+  EXPECT_EQ(hist.underflow(), 1u);
+  EXPECT_EQ(hist.overflow(), 2u);
+  EXPECT_EQ(hist.bucket(0), 2u);  // 0.0 and 1.9.
+  EXPECT_EQ(hist.bucket(2), 1u);  // 5.0.
+  EXPECT_EQ(hist.total(), 6u);
+  EXPECT_DOUBLE_EQ(hist.BucketLow(2), 4.0);
+}
+
+}  // namespace
+}  // namespace dpack

@@ -1,0 +1,110 @@
+#include "src/core/compute_aware.h"
+
+#include <gtest/gtest.h>
+
+#include "src/block/block_manager.h"
+
+namespace dpack {
+namespace {
+
+AlphaGridPtr Grid() { return AlphaGrid::Default(); }
+
+Task FractionTask(TaskId id, double fraction) {
+  RdpCurve capacity = BlockCapacityCurve(Grid(), 10.0, 1e-7);
+  Task t(id, 1.0, capacity.Scaled(fraction));
+  t.blocks = {0};
+  return t;
+}
+
+class ComputeAwareTest : public testing::Test {
+ protected:
+  ComputeAwareTest() : blocks_(Grid(), 10.0, 1e-7) {
+    blocks_.AddBlock(0.0, /*unlocked=*/true);
+  }
+  BlockManager blocks_;
+  ComputeDemandMap demands_;
+};
+
+TEST_F(ComputeAwareTest, NoComputeDemandsBehavesLikeInner) {
+  std::vector<Task> tasks;
+  for (int i = 0; i < 5; ++i) {
+    tasks.push_back(FractionTask(i, 0.15));
+  }
+  ComputeAwareScheduler aware(CreateScheduler(SchedulerKind::kDpack), &demands_,
+                              {/*gpu_hours_per_cycle=*/10.0});
+  std::vector<size_t> granted = aware.ScheduleBatch(tasks, blocks_);
+  EXPECT_EQ(granted.size(), 5u);
+  EXPECT_DOUBLE_EQ(aware.last_cycle_gpu_hours(), 0.0);
+  EXPECT_EQ(aware.last_cycle_compute_deferred(), 0u);
+}
+
+TEST_F(ComputeAwareTest, ComputeCapDefersTasks) {
+  std::vector<Task> tasks;
+  for (int i = 0; i < 4; ++i) {
+    tasks.push_back(FractionTask(i, 0.1));
+    demands_.Set(i, 4.0);  // 4 GPU-hours each; cap 10 fits only 2.
+  }
+  ComputeAwareScheduler aware(CreateScheduler(SchedulerKind::kDpack), &demands_,
+                              {/*gpu_hours_per_cycle=*/10.0});
+  std::vector<size_t> granted = aware.ScheduleBatch(tasks, blocks_);
+  EXPECT_EQ(granted.size(), 2u);
+  EXPECT_DOUBLE_EQ(aware.last_cycle_gpu_hours(), 8.0);
+  EXPECT_EQ(aware.last_cycle_compute_deferred(), 2u);
+}
+
+TEST_F(ComputeAwareTest, DeferredTasksKeepPrivacyBudget) {
+  std::vector<Task> tasks;
+  for (int i = 0; i < 4; ++i) {
+    tasks.push_back(FractionTask(i, 0.2));
+    demands_.Set(i, 6.0);  // Cap 10: only one per cycle.
+  }
+  ComputeAwareScheduler aware(CreateScheduler(SchedulerKind::kDpack), &demands_,
+                              {/*gpu_hours_per_cycle=*/10.0});
+  std::vector<size_t> first = aware.ScheduleBatch(tasks, blocks_);
+  EXPECT_EQ(first.size(), 1u);
+  // Budget consumed only for the single grant: 0.2 of the block.
+  size_t i64 = Grid()->IndexOf(64.0);
+  EXPECT_NEAR(blocks_.block(0).consumed().epsilon(i64),
+              0.2 * blocks_.block(0).capacity().epsilon(i64), 1e-9);
+  // The deferred tasks run over subsequent cycles.
+  std::vector<size_t> second = aware.ScheduleBatch(tasks, blocks_);
+  EXPECT_EQ(second.size(), 1u);
+}
+
+TEST_F(ComputeAwareTest, MixedFreeAndGpuTasks) {
+  std::vector<Task> tasks;
+  tasks.push_back(FractionTask(0, 0.1));  // Statistic: no GPU.
+  tasks.push_back(FractionTask(1, 0.1));
+  demands_.Set(1, 50.0);  // Training beyond the per-cycle cap: always deferred.
+  ComputeAwareScheduler aware(CreateScheduler(SchedulerKind::kDpf), &demands_,
+                              {/*gpu_hours_per_cycle=*/10.0});
+  std::vector<size_t> granted = aware.ScheduleBatch(tasks, blocks_);
+  ASSERT_EQ(granted.size(), 1u);
+  EXPECT_EQ(tasks[granted[0]].id, 0);
+  EXPECT_EQ(aware.last_cycle_compute_deferred(), 1u);
+}
+
+TEST_F(ComputeAwareTest, NameReflectsComposition) {
+  ComputeAwareScheduler aware(CreateScheduler(SchedulerKind::kDpack), &demands_, {10.0});
+  EXPECT_EQ(aware.name(), "DPack+compute");
+}
+
+TEST(BlockManagerCloneTest, CloneIsIndependentDeepCopy) {
+  BlockManager original(Grid(), 10.0, 1e-7);
+  original.AddBlock(0.0, /*unlocked=*/true);
+  RdpCurve demand = BlockCapacityCurve(Grid(), 10.0, 1e-7).Scaled(0.3);
+  original.block(0).Commit(demand);
+
+  BlockManager copy = original.Clone();
+  ASSERT_EQ(copy.block_count(), 1u);
+  size_t i64 = Grid()->IndexOf(64.0);
+  EXPECT_DOUBLE_EQ(copy.block(0).consumed().epsilon(i64),
+                   original.block(0).consumed().epsilon(i64));
+  // Mutating the copy leaves the original untouched.
+  copy.block(0).Commit(demand);
+  EXPECT_NE(copy.block(0).consumed().epsilon(i64),
+            original.block(0).consumed().epsilon(i64));
+}
+
+}  // namespace
+}  // namespace dpack

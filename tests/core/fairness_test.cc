@@ -1,0 +1,58 @@
+#include "src/core/fairness.h"
+
+#include <gtest/gtest.h>
+
+namespace dpack {
+namespace {
+
+AlphaGridPtr Grid() { return AlphaGrid::Default(); }
+
+TEST(FairnessTest, SmallTaskIsFairShare) {
+  BlockManager blocks(Grid(), 10.0, 1e-7);
+  blocks.AddBlock(0.0, true);
+  RdpCurve capacity = BlockCapacityCurve(Grid(), 10.0, 1e-7);
+  Task t(1, 1.0, capacity.Scaled(1.0 / 100.0));
+  t.blocks = {0};
+  EXPECT_TRUE(IsFairShareTask(t, blocks, 50));   // 1/100 <= 1/50.
+  EXPECT_FALSE(IsFairShareTask(t, blocks, 200)); // 1/100 > 1/200.
+}
+
+TEST(FairnessTest, BoundaryExactlyFairShare) {
+  BlockManager blocks(Grid(), 10.0, 1e-7);
+  blocks.AddBlock(0.0, true);
+  RdpCurve capacity = BlockCapacityCurve(Grid(), 10.0, 1e-7);
+  Task t(1, 1.0, capacity.Scaled(1.0 / 50.0));
+  t.blocks = {0};
+  EXPECT_TRUE(IsFairShareTask(t, blocks, 50));
+}
+
+TEST(FairnessTest, EveryRequestedBlockMustBeWithinShare) {
+  AlphaGridPtr grid = AlphaGrid::Create({4.0, 8.0});
+  BlockManager blocks(grid, 10.0, 1e-7);
+  blocks.AddBlockWithCapacity(RdpCurve(grid, {10.0, 10.0}), 0.0, true);
+  blocks.AddBlockWithCapacity(RdpCurve(grid, {1.0, 1.0}), 0.0, true);
+  Task t(1, 1.0, RdpCurve(grid, {0.2, 0.2}));
+  t.blocks = {0};
+  EXPECT_TRUE(IsFairShareTask(t, blocks, 10));  // 0.2 <= 10/10.
+  t.blocks = {0, 1};
+  EXPECT_FALSE(IsFairShareTask(t, blocks, 10));  // 0.2 > 1/10 on block 1.
+}
+
+TEST(FairnessTest, OnlyBestOrderNeedsToBeWithinShare) {
+  AlphaGridPtr grid = AlphaGrid::Create({4.0, 8.0});
+  BlockManager blocks(grid, 10.0, 1e-7);
+  blocks.AddBlockWithCapacity(RdpCurve(grid, {10.0, 10.0}), 0.0, true);
+  Task t(1, 1.0, RdpCurve(grid, {100.0, 0.5}));  // Huge at order 0, tiny at order 1.
+  t.blocks = {0};
+  EXPECT_TRUE(IsFairShareTask(t, blocks, 10));  // 0.5 <= 10/10 at order 1.
+}
+
+TEST(FairnessTest, UnresolvedTaskIsNotFairShare) {
+  BlockManager blocks(Grid(), 10.0, 1e-7);
+  blocks.AddBlock(0.0, true);
+  Task t(1, 1.0, RdpCurve(Grid()));
+  EXPECT_FALSE(IsFairShareTask(t, blocks, 50));
+}
+
+}  // namespace
+}  // namespace dpack

@@ -1,0 +1,61 @@
+#include "src/core/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace dpack {
+namespace {
+
+TEST(AllocationMetricsTest, CountsSubmissionsAllocationsEvictions) {
+  AllocationMetrics metrics;
+  metrics.RecordSubmission(1.0, true);
+  metrics.RecordSubmission(2.0, false);
+  metrics.RecordSubmission(3.0, true);
+  metrics.RecordAllocation(1.0, 0.5, true);
+  metrics.RecordEviction(2.0);
+  EXPECT_EQ(metrics.submitted(), 3u);
+  EXPECT_EQ(metrics.allocated(), 1u);
+  EXPECT_EQ(metrics.evicted(), 1u);
+  EXPECT_DOUBLE_EQ(metrics.submitted_weight(), 6.0);
+  EXPECT_DOUBLE_EQ(metrics.allocated_weight(), 1.0);
+  EXPECT_EQ(metrics.submitted_fair_share(), 2u);
+  EXPECT_EQ(metrics.allocated_fair_share(), 1u);
+}
+
+TEST(AllocationMetricsTest, FairShareFraction) {
+  AllocationMetrics metrics;
+  EXPECT_DOUBLE_EQ(metrics.AllocatedFairShareFraction(), 0.0);
+  metrics.RecordAllocation(1.0, 0.0, true);
+  metrics.RecordAllocation(1.0, 0.0, false);
+  metrics.RecordAllocation(1.0, 0.0, true);
+  metrics.RecordAllocation(1.0, 0.0, true);
+  EXPECT_DOUBLE_EQ(metrics.AllocatedFairShareFraction(), 0.75);
+}
+
+TEST(AllocationMetricsTest, DelayQuantiles) {
+  AllocationMetrics metrics;
+  for (double d : {1.0, 2.0, 3.0, 4.0, 5.0}) {
+    metrics.RecordAllocation(1.0, d, false);
+  }
+  EXPECT_DOUBLE_EQ(metrics.delays().median(), 3.0);
+  EXPECT_DOUBLE_EQ(metrics.delays().Quantile(1.0), 5.0);
+}
+
+TEST(AllocationMetricsTest, RuntimeAccumulates) {
+  AllocationMetrics metrics;
+  metrics.RecordCycleRuntime(0.25);
+  metrics.RecordCycleRuntime(0.75);
+  EXPECT_DOUBLE_EQ(metrics.total_runtime_seconds(), 1.0);
+  EXPECT_EQ(metrics.cycle_runtime_seconds().count(), 2u);
+}
+
+TEST(AllocationMetricsTest, SummaryMentionsCounts) {
+  AllocationMetrics metrics;
+  metrics.RecordSubmission(1.0, false);
+  metrics.RecordAllocation(1.0, 2.0, false);
+  std::string summary = metrics.Summary();
+  EXPECT_NE(summary.find("submitted=1"), std::string::npos);
+  EXPECT_NE(summary.find("allocated=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dpack

@@ -1,0 +1,144 @@
+// Reproductions of the paper's two worked examples:
+//   Fig. 1 — DPF's multi-block inefficiency under (near-)traditional accounting: DPF
+//            allocates 1 task where an efficient scheduler allocates 3.
+//   Fig. 3 — DPF's best-alpha blindness under RDP accounting: DPF allocates 2 tasks where
+//            an efficient scheduler allocates 4.
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "src/block/block_manager.h"
+#include "src/core/scheduler.h"
+
+namespace dpack {
+namespace {
+
+// --- Fig. 1 -------------------------------------------------------------------------------
+// Three blocks; T1 demands 45% of each block's budget; T2-T4 demand 60% of one distinct
+// block each. Demands are proportional to block capacity, so normalized shares are flat
+// across orders (the traditional-DP setting of the figure).
+
+struct Fig1Fixture {
+  Fig1Fixture() : blocks(AlphaGrid::Default(), 10.0, 1e-7) {
+    for (int b = 0; b < 3; ++b) {
+      blocks.AddBlock(0.0, /*unlocked=*/true);
+    }
+    RdpCurve capacity = BlockCapacityCurve(AlphaGrid::Default(), 10.0, 1e-7);
+    Task t1(1, 1.0, capacity.Scaled(0.45));
+    t1.blocks = {0, 1, 2};
+    tasks.push_back(t1);
+    for (int i = 0; i < 3; ++i) {
+      Task t(2 + i, 1.0, capacity.Scaled(0.60));
+      t.blocks = {static_cast<BlockId>(i)};
+      tasks.push_back(t);
+    }
+  }
+  BlockManager blocks;
+  std::vector<Task> tasks;
+};
+
+TEST(Fig1Test, DpfAllocatesOnlyTheMultiBlockTask) {
+  Fig1Fixture fig;
+  GreedyScheduler dpf(GreedyMetric::kDpf);
+  std::vector<size_t> granted = dpf.ScheduleBatch(fig.tasks, fig.blocks);
+  ASSERT_EQ(granted.size(), 1u);
+  EXPECT_EQ(fig.tasks[granted[0]].id, 1);  // T1, the dominant-share minimizer.
+}
+
+TEST(Fig1Test, DpackAllocatesThreeSingleBlockTasks) {
+  Fig1Fixture fig;
+  GreedyScheduler dpack(GreedyMetric::kDpack);
+  std::vector<size_t> granted = dpack.ScheduleBatch(fig.tasks, fig.blocks);
+  ASSERT_EQ(granted.size(), 3u);
+  for (size_t idx : granted) {
+    EXPECT_NE(fig.tasks[idx].id, 1);
+  }
+}
+
+TEST(Fig1Test, AreaMetricAlsoFixesTheInefficiency) {
+  // §3.1: the area heuristic (Eq. 4) already handles multi-block heterogeneity.
+  Fig1Fixture fig;
+  GreedyScheduler area(GreedyMetric::kArea);
+  EXPECT_EQ(area.ScheduleBatch(fig.tasks, fig.blocks).size(), 3u);
+}
+
+TEST(Fig1Test, OptimalAllocatesThree) {
+  Fig1Fixture fig;
+  OptimalScheduler optimal;
+  EXPECT_EQ(optimal.ScheduleBatch(fig.tasks, fig.blocks).size(), 3u);
+  EXPECT_TRUE(optimal.last_solve_optimal());
+}
+
+// --- Fig. 3 -------------------------------------------------------------------------------
+// Two blocks with capacity exactly 1 at both of two RDP orders. Six single-block tasks:
+//   block B0: T1 = (0.5, 1.5), T2 = (0.9, 0.9), T3 = (0.5, 1.5)   best order = alpha1
+//   block B1: T4 = (0.9, 0.9), T5 = (1.5, 0.5), T6 = (1.5, 0.5)   best order = alpha2
+// DPF sorts by dominant share (T2, T4 first at 0.9) and blocks both blocks after 2 grants;
+// an efficient scheduler packs T1+T3 at alpha1 and T5+T6 at alpha2 — 4 grants.
+
+std::vector<TaskId> RunFig3(GreedyMetric metric) {
+  AlphaGridPtr grid = AlphaGrid::Create({4.0, 8.0});
+  BlockManager blocks(grid, /*eps_g=*/10.0, /*delta_g=*/1e-7);  // Derivation unused below.
+  RdpCurve unit(grid, {1.0, 1.0});
+  blocks.AddBlockWithCapacity(unit, 0.0, /*unlocked=*/true);
+  blocks.AddBlockWithCapacity(unit, 0.0, /*unlocked=*/true);
+
+  std::vector<Task> tasks;
+  auto add_task = [&](TaskId id, BlockId block, double d1, double d2) {
+    Task t(id, 1.0, RdpCurve(grid, {d1, d2}));
+    t.blocks = {block};
+    tasks.push_back(t);
+  };
+  add_task(1, 0, 0.5, 1.5);
+  add_task(2, 0, 0.9, 0.9);
+  add_task(3, 0, 0.5, 1.5);
+  add_task(4, 1, 0.9, 0.9);
+  add_task(5, 1, 1.5, 0.5);
+  add_task(6, 1, 1.5, 0.5);
+
+  GreedyScheduler scheduler(metric);
+  std::vector<size_t> granted = scheduler.ScheduleBatch(tasks, blocks);
+  std::vector<TaskId> ids;
+  ids.reserve(granted.size());
+  for (size_t idx : granted) {
+    ids.push_back(tasks[idx].id);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+TEST(Fig3Test, DpfAllocatesTwoTasks) {
+  // DPF takes the two dominant-share-0.9 tasks (one per block), blocking both blocks.
+  EXPECT_EQ(RunFig3(GreedyMetric::kDpf), (std::vector<TaskId>{2, 4}));
+}
+
+TEST(Fig3Test, DpackAllocatesFourTasksAtBestAlphas) {
+  EXPECT_EQ(RunFig3(GreedyMetric::kDpack), (std::vector<TaskId>{1, 3, 5, 6}));
+}
+
+TEST(Fig3Test, OptimalAlsoFindsFour) {
+  AlphaGridPtr grid = AlphaGrid::Create({4.0, 8.0});
+  BlockManager blocks(grid, 10.0, 1e-7);
+  RdpCurve unit(grid, {1.0, 1.0});
+  blocks.AddBlockWithCapacity(unit, 0.0, true);
+  blocks.AddBlockWithCapacity(unit, 0.0, true);
+  std::vector<Task> tasks;
+  auto add_task = [&](TaskId id, BlockId block, double d1, double d2) {
+    Task t(id, 1.0, RdpCurve(grid, {d1, d2}));
+    t.blocks = {block};
+    tasks.push_back(t);
+  };
+  add_task(1, 0, 0.5, 1.5);
+  add_task(2, 0, 0.9, 0.9);
+  add_task(3, 0, 0.5, 1.5);
+  add_task(4, 1, 0.9, 0.9);
+  add_task(5, 1, 1.5, 0.5);
+  add_task(6, 1, 1.5, 0.5);
+  OptimalScheduler optimal;
+  EXPECT_EQ(optimal.ScheduleBatch(tasks, blocks).size(), 4u);
+  EXPECT_TRUE(optimal.last_solve_optimal());
+}
+
+}  // namespace
+}  // namespace dpack

@@ -1,0 +1,174 @@
+// End-to-end integration: workload generators -> simulator -> schedulers, asserting the
+// paper's qualitative results at small scale.
+
+#include <gtest/gtest.h>
+
+#include "src/dpack/dpack.h"
+
+namespace dpack {
+namespace {
+
+class EndToEndTest : public testing::Test {
+ protected:
+  EndToEndTest()
+      : grid_(AlphaGrid::Default()),
+        capacity_(BlockCapacityCurve(grid_, 10.0, 1e-7)),
+        pool_(grid_, capacity_) {}
+
+  AlphaGridPtr grid_;
+  RdpCurve capacity_;
+  CurvePool pool_;
+};
+
+TEST_F(EndToEndTest, MicrobenchmarkHighBlockHeterogeneityFavorsDpack) {
+  // Fig. 4(a) at the heterogeneous end: sigma_blocks = 3.
+  MicrobenchmarkConfig config;
+  config.num_tasks = 150;
+  config.num_blocks = 20;
+  config.mu_blocks = 10.0;
+  config.sigma_blocks = 3.0;
+  config.eps_min = 0.1;
+  config.seed = 3;
+  std::vector<Task> tasks = GenerateMicrobenchmark(pool_, config);
+
+  SimConfig sim;
+  sim.num_blocks = 20;
+  auto run = [&](SchedulerKind kind) {
+    auto scheduler = CreateScheduler(kind);
+    return RunOfflineSchedule(*scheduler, tasks, sim).metrics.allocated();
+  };
+  size_t dpack = run(SchedulerKind::kDpack);
+  size_t dpf = run(SchedulerKind::kDpf);
+  EXPECT_GT(dpack, dpf);
+}
+
+TEST_F(EndToEndTest, MicrobenchmarkHomogeneousWorkloadShowsNoGap) {
+  // Fig. 4 at sigma = 0: DPack and DPF perform comparably (within 10%).
+  MicrobenchmarkConfig config;
+  config.num_tasks = 150;
+  config.num_blocks = 20;
+  config.mu_blocks = 10.0;
+  config.sigma_blocks = 0.0;
+  config.sigma_alpha = 0.0;
+  config.eps_min = 0.1;
+  config.seed = 3;
+  std::vector<Task> tasks = GenerateMicrobenchmark(pool_, config);
+
+  SimConfig sim;
+  sim.num_blocks = 20;
+  auto run = [&](SchedulerKind kind) {
+    auto scheduler = CreateScheduler(kind);
+    return RunOfflineSchedule(*scheduler, tasks, sim).metrics.allocated();
+  };
+  double dpack = static_cast<double>(run(SchedulerKind::kDpack));
+  double dpf = static_cast<double>(run(SchedulerKind::kDpf));
+  EXPECT_NEAR(dpack / dpf, 1.0, 0.1);
+}
+
+TEST_F(EndToEndTest, MicrobenchmarkBestAlphaHeterogeneityFavorsDpack) {
+  // Fig. 4(b) at sigma_alpha = 6, single block.
+  MicrobenchmarkConfig config;
+  config.num_tasks = 400;
+  config.num_blocks = 1;
+  config.mu_blocks = 1.0;
+  config.sigma_alpha = 6.0;
+  config.eps_min = 0.005;
+  config.seed = 5;
+  std::vector<Task> tasks = GenerateMicrobenchmark(pool_, config);
+
+  SimConfig sim;
+  sim.num_blocks = 1;
+  auto run = [&](SchedulerKind kind) {
+    auto scheduler = CreateScheduler(kind);
+    return RunOfflineSchedule(*scheduler, tasks, sim).metrics.allocated();
+  };
+  size_t dpack = run(SchedulerKind::kDpack);
+  size_t dpf = run(SchedulerKind::kDpf);
+  size_t optimal = run(SchedulerKind::kOptimal);
+  EXPECT_GT(dpack, dpf);
+  EXPECT_GE(optimal, dpack);
+  // Q1: DPack stays within ~23% of Optimal.
+  EXPECT_GE(static_cast<double>(dpack), 0.75 * static_cast<double>(optimal));
+}
+
+TEST_F(EndToEndTest, AlibabaOnlineDpackBeatsDpfAndFcfs) {
+  // Small-scale Fig. 6: online Alibaba-DP. DPack allocates the most tasks; the paper's
+  // headline 1.3-1.7x gap over DPF shows up already at this scale.
+  AlibabaConfig workload;
+  workload.num_tasks = 6000;
+  workload.arrival_span = 30.0;
+  workload.seed = 11;
+  std::vector<Task> tasks = GenerateAlibabaDp(pool_, workload);
+
+  SimConfig sim;
+  sim.num_blocks = 30;
+  sim.unlock_steps = 20;
+  auto run = [&](SchedulerKind kind) {
+    return RunOnlineSimulation(CreateScheduler(kind), tasks, sim).metrics.allocated();
+  };
+  size_t dpack = run(SchedulerKind::kDpack);
+  size_t dpf = run(SchedulerKind::kDpf);
+  size_t fcfs = run(SchedulerKind::kFcfs);
+  EXPECT_GE(static_cast<double>(dpack), 1.2 * static_cast<double>(dpf));
+  EXPECT_GE(dpack, fcfs);
+}
+
+TEST_F(EndToEndTest, AlibabaFairnessTradeoff) {
+  // §6.3: DPF allocates a higher *fraction* of fair-share tasks than DPack, while DPack
+  // allocates more tasks in total.
+  AlibabaConfig workload;
+  workload.num_tasks = 3000;
+  workload.arrival_span = 30.0;
+  workload.seed = 13;
+  std::vector<Task> tasks = GenerateAlibabaDp(pool_, workload);
+
+  SimConfig sim;
+  sim.num_blocks = 30;
+  sim.unlock_steps = 20;
+  sim.fair_share_n = 50;
+  SimResult dpack = RunOnlineSimulation(CreateScheduler(SchedulerKind::kDpack), tasks, sim);
+  SimResult dpf = RunOnlineSimulation(CreateScheduler(SchedulerKind::kDpf), tasks, sim);
+  EXPECT_GT(dpack.metrics.allocated(), dpf.metrics.allocated());
+  EXPECT_GE(dpf.metrics.AllocatedFairShareFraction(),
+            dpack.metrics.AllocatedFairShareFraction());
+}
+
+TEST_F(EndToEndTest, AmazonUnweightedSchedulersComparable) {
+  // Fig. 7(a): the low-heterogeneity Amazon workload leaves no room for improvement.
+  AmazonConfig workload;
+  workload.mean_tasks_per_block = 200.0;
+  workload.arrival_span = 10.0;
+  workload.seed = 17;
+  std::vector<Task> tasks = GenerateAmazon(pool_, workload);
+
+  SimConfig sim;
+  sim.num_blocks = 10;
+  sim.unlock_steps = 10;
+  auto run = [&](SchedulerKind kind) {
+    return RunOnlineSimulation(CreateScheduler(kind), tasks, sim).metrics.allocated();
+  };
+  double dpack = static_cast<double>(run(SchedulerKind::kDpack));
+  double dpf = static_cast<double>(run(SchedulerKind::kDpf));
+  EXPECT_NEAR(dpack / dpf, 1.0, 0.15);
+}
+
+TEST_F(EndToEndTest, AmazonWeightedDpackWinsOnUtility) {
+  // Fig. 7(b): task weights create heterogeneity; DPack wins on sum of weights.
+  AmazonConfig workload;
+  workload.mean_tasks_per_block = 200.0;
+  workload.arrival_span = 10.0;
+  workload.weighted = true;
+  workload.seed = 19;
+  std::vector<Task> tasks = GenerateAmazon(pool_, workload);
+
+  SimConfig sim;
+  sim.num_blocks = 10;
+  sim.unlock_steps = 10;
+  auto run = [&](SchedulerKind kind) {
+    return RunOnlineSimulation(CreateScheduler(kind), tasks, sim).metrics.allocated_weight();
+  };
+  EXPECT_GE(run(SchedulerKind::kDpack), run(SchedulerKind::kDpf));
+}
+
+}  // namespace
+}  // namespace dpack

@@ -1,0 +1,111 @@
+#include "src/orchestrator/cluster_orchestrator.h"
+
+#include <gtest/gtest.h>
+
+#include "src/rdp/rdp_curve.h"
+
+namespace dpack {
+namespace {
+
+AlphaGridPtr Grid() { return AlphaGrid::Default(); }
+
+Task FractionTask(TaskId id, double fraction, size_t recent, double arrival) {
+  RdpCurve capacity = BlockCapacityCurve(Grid(), 10.0, 1e-7);
+  Task t(id, 1.0, capacity.Scaled(fraction));
+  t.num_recent_blocks = recent;
+  t.arrival_time = arrival;
+  return t;
+}
+
+OrchestratorConfig FastConfig() {
+  OrchestratorConfig config;
+  config.offline_blocks = 2;
+  config.online_blocks = 3;
+  config.period = 1.0;
+  config.unlock_steps = 2;
+  config.virtual_unit_wall_ms = 2.0;
+  config.store_latency_us = 10.0;
+  return config;
+}
+
+TEST(OrchestratorOfflineTest, SchedulesAndTimesThePass) {
+  ClusterOrchestrator orchestrator(CreateScheduler(SchedulerKind::kDpack), FastConfig());
+  std::vector<Task> tasks;
+  for (int i = 0; i < 20; ++i) {
+    tasks.push_back(FractionTask(i, 0.05, 2, 0.0));
+  }
+  OrchestratorRunResult result = orchestrator.RunOfflinePass(std::move(tasks));
+  EXPECT_EQ(result.metrics.submitted(), 20u);
+  EXPECT_EQ(result.metrics.allocated(), 20u);
+  EXPECT_GT(result.metrics.total_runtime_seconds(), 0.0);
+  // Claim creation (20) + cycle ops (4) + per-grant ops (3 x 20).
+  EXPECT_EQ(result.store_operations, 20u + 4u + 60u);
+}
+
+TEST(OrchestratorOfflineTest, StoreLatencyDominatesRuntime) {
+  // The Q4 observation: with a slow store, the pass runtime is mostly store traffic.
+  OrchestratorConfig config = FastConfig();
+  config.store_latency_us = 2000.0;  // 2 ms per op.
+  ClusterOrchestrator orchestrator(CreateScheduler(SchedulerKind::kDpack), config);
+  std::vector<Task> tasks;
+  for (int i = 0; i < 10; ++i) {
+    tasks.push_back(FractionTask(i, 0.01, 1, 0.0));
+  }
+  OrchestratorRunResult result = orchestrator.RunOfflinePass(std::move(tasks));
+  // Timed region: 4 cycle ops + 30 grant ops = 68 ms of injected latency minimum.
+  EXPECT_GE(result.metrics.total_runtime_seconds(), 0.06);
+}
+
+TEST(OrchestratorOnlineTest, ProcessesWorkloadEndToEnd) {
+  ClusterOrchestrator orchestrator(CreateScheduler(SchedulerKind::kDpack), FastConfig());
+  std::vector<Task> tasks;
+  for (int i = 0; i < 30; ++i) {
+    tasks.push_back(FractionTask(i, 0.02, 2, static_cast<double>(i % 3)));
+  }
+  OrchestratorRunResult result = orchestrator.RunOnline(std::move(tasks));
+  EXPECT_EQ(result.metrics.submitted(), 30u);
+  EXPECT_EQ(result.metrics.allocated(), 30u);  // Ample budget.
+  EXPECT_GT(result.cycles, 0u);
+  EXPECT_GT(result.store_operations, 30u);
+}
+
+TEST(OrchestratorOnlineTest, DelaysRecordedInVirtualTime) {
+  OrchestratorConfig config = FastConfig();
+  config.unlock_steps = 3;
+  ClusterOrchestrator orchestrator(CreateScheduler(SchedulerKind::kDpack), config);
+  // One task needing the full budget of one block: must wait ~2 periods for unlock.
+  std::vector<Task> tasks = {FractionTask(0, 0.95, 1, 0.0)};
+  OrchestratorRunResult result = orchestrator.RunOnline(std::move(tasks));
+  ASSERT_EQ(result.metrics.allocated(), 1u);
+  EXPECT_GE(result.metrics.delays().Quantile(0.5), 1.0);
+}
+
+TEST(OrchestratorOnlineTest, DpackAllocatesAtLeastAsMuchAsDpfUnderContention) {
+  auto run = [](SchedulerKind kind) {
+    OrchestratorConfig config = FastConfig();
+    config.offline_blocks = 3;
+    config.online_blocks = 2;
+    std::vector<Task> tasks;
+    // Heterogeneous contention: multi-block vs single-block tasks (Fig. 1 style).
+    RdpCurve capacity = BlockCapacityCurve(Grid(), 10.0, 1e-7);
+    for (int i = 0; i < 12; ++i) {
+      if (i % 4 == 0) {
+        Task t(i, 1.0, capacity.Scaled(0.45));
+        t.num_recent_blocks = 3;
+        t.arrival_time = 0.0;
+        tasks.push_back(t);
+      } else {
+        Task t(i, 1.0, capacity.Scaled(0.55));
+        t.num_recent_blocks = 1;
+        t.arrival_time = 0.0;
+        tasks.push_back(t);
+      }
+    }
+    ClusterOrchestrator orch(CreateScheduler(kind), config);
+    return orch.RunOnline(std::move(tasks)).metrics.allocated();
+  };
+  EXPECT_GE(run(SchedulerKind::kDpack), run(SchedulerKind::kDpf));
+}
+
+}  // namespace
+}  // namespace dpack

@@ -1,0 +1,61 @@
+#include "src/orchestrator/state_store.h"
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dpack {
+namespace {
+
+TEST(StateStoreTest, CountsOperations) {
+  SimulatedStateStore store(0.0);
+  EXPECT_EQ(store.operations(), 0u);
+  store.RoundTrip();
+  store.RoundTrip(5);
+  EXPECT_EQ(store.operations(), 6u);
+}
+
+TEST(StateStoreTest, ZeroLatencyIsFast) {
+  SimulatedStateStore store(0.0);
+  auto start = std::chrono::steady_clock::now();
+  store.RoundTrip(100000);
+  double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  EXPECT_LT(seconds, 0.5);
+}
+
+TEST(StateStoreTest, LatencyIsInjected) {
+  SimulatedStateStore store(/*latency_us=*/2000.0);
+  auto start = std::chrono::steady_clock::now();
+  store.RoundTrip(10);  // 20 ms total.
+  double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  EXPECT_GE(seconds, 0.018);
+}
+
+TEST(StateStoreTest, ThreadSafeCounting) {
+  SimulatedStateStore store(0.0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&store] {
+      for (int i = 0; i < 10000; ++i) {
+        store.RoundTrip();
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(store.operations(), 40000u);
+}
+
+TEST(StateStoreTest, ZeroOpsNoCount) {
+  SimulatedStateStore store(1000.0);
+  store.RoundTrip(0);
+  EXPECT_EQ(store.operations(), 0u);
+}
+
+}  // namespace
+}  // namespace dpack

@@ -1,0 +1,166 @@
+#include "src/rdp/accountant.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/rdp/mechanisms.h"
+
+namespace dpack {
+namespace {
+
+AlphaGridPtr Grid() { return AlphaGrid::Default(); }
+
+TEST(PrivacyFilterTest, BudgetMatchesBlockCapacityCurve) {
+  PrivacyFilter filter(Grid(), 10.0, 1e-7);
+  RdpCurve expected = BlockCapacityCurve(Grid(), 10.0, 1e-7);
+  for (size_t i = 0; i < Grid()->size(); ++i) {
+    EXPECT_DOUBLE_EQ(filter.budget().epsilon(i), expected.epsilon(i));
+  }
+  EXPECT_TRUE(filter.consumed().IsZero());
+}
+
+TEST(PrivacyFilterTest, ChargesUntilBudgetSpent) {
+  PrivacyFilter filter(Grid(), 8.0, 1e-6);
+  RdpCurve step = GaussianCurve(Grid(), 3.0);
+  int admitted = 0;
+  while (filter.TryCharge(step)) {
+    ++admitted;
+  }
+  EXPECT_GT(admitted, 0);
+  EXPECT_EQ(filter.charges(), static_cast<uint64_t>(admitted));
+  // Rejected charge did not change state.
+  RdpCurve consumed = filter.consumed();
+  EXPECT_FALSE(filter.TryCharge(step));
+  for (size_t i = 0; i < Grid()->size(); ++i) {
+    EXPECT_DOUBLE_EQ(filter.consumed().epsilon(i), consumed.epsilon(i));
+  }
+}
+
+TEST(PrivacyFilterTest, ExistsAlphaSemantics) {
+  PrivacyFilter filter(Grid(), 10.0, 1e-7);
+  // Over budget everywhere except alpha = 64.
+  std::vector<double> eps(Grid()->size(), 100.0);
+  eps[Grid()->IndexOf(64.0)] = 1.0;
+  RdpCurve spiky(Grid(), eps);
+  EXPECT_TRUE(filter.CanCharge(spiky));
+  EXPECT_TRUE(filter.TryCharge(spiky));
+}
+
+TEST(PrivacyFilterTest, SmallerChargeMayFollowRejection) {
+  PrivacyFilter filter(Grid(), 6.0, 1e-6);
+  RdpCurve big = GaussianCurve(Grid(), 1.0).Repeat(4);
+  RdpCurve small = GaussianCurve(Grid(), 20.0);
+  while (filter.TryCharge(big)) {
+  }
+  EXPECT_FALSE(filter.CanCharge(big));
+  EXPECT_TRUE(filter.TryCharge(small));  // The filter is not halted by a rejection.
+}
+
+TEST(PrivacyFilterTest, GuaranteeHoldsAfterAdaptiveSequence) {
+  // Property 6: after any admitted adaptive sequence, translating the consumed loss at some
+  // order certifies (eps_g, delta_g)-DP.
+  double eps_g = 5.0;
+  double delta_g = 1e-6;
+  Rng rng(3);
+  PrivacyFilter filter(Grid(), eps_g, delta_g);
+  for (int round = 0; round < 200; ++round) {
+    RdpCurve loss = rng.Bernoulli(0.5)
+                        ? GaussianCurve(Grid(), rng.Uniform(2.0, 20.0))
+                        : LaplaceCurve(Grid(), rng.Uniform(2.0, 30.0));
+    filter.TryCharge(loss);
+  }
+  bool certified = false;
+  for (size_t i = 0; i < Grid()->size(); ++i) {
+    if (filter.budget().epsilon(i) <= 0.0) {
+      continue;
+    }
+    if (filter.consumed().epsilon(i) <= filter.budget().epsilon(i) + 1e-6) {
+      double eps_dp = filter.consumed().epsilon(i) +
+                      std::log(1.0 / delta_g) / (Grid()->order(i) - 1.0);
+      EXPECT_LE(eps_dp, eps_g + 1e-6);
+      certified = true;
+    }
+  }
+  EXPECT_TRUE(certified);
+}
+
+TEST(PrivacyFilterTest, ExhaustedDetection) {
+  PrivacyFilter filter(Grid(), 10.0, 1e-7);
+  EXPECT_FALSE(filter.Exhausted());
+  std::vector<double> eps(Grid()->size(), 100.0);
+  size_t i64 = Grid()->IndexOf(64.0);
+  eps[i64] = filter.budget().epsilon(i64);
+  EXPECT_TRUE(filter.TryCharge(RdpCurve(Grid(), eps)));
+  EXPECT_TRUE(filter.Exhausted());
+}
+
+TEST(PrivacyFilterTest, RemainingClampsAtZero) {
+  PrivacyFilter filter(Grid(), 10.0, 1e-7);
+  std::vector<double> eps(Grid()->size(), 50.0);
+  eps[Grid()->IndexOf(64.0)] = 1.0;
+  filter.TryCharge(RdpCurve(Grid(), eps));
+  RdpCurve remaining = filter.Remaining();
+  for (size_t i = 0; i < Grid()->size(); ++i) {
+    EXPECT_GE(remaining.epsilon(i), 0.0);
+  }
+  EXPECT_GT(remaining.epsilon(Grid()->IndexOf(64.0)), 0.0);
+}
+
+TEST(PrivacyOdometerTest, AccumulatesAndTranslates) {
+  PrivacyOdometer odometer(Grid());
+  RdpCurve step = GaussianCurve(Grid(), 2.0);
+  DpTranslation after1 = [&] {
+    odometer.Charge(step);
+    return odometer.CurrentDp(1e-6);
+  }();
+  DpTranslation after10 = [&] {
+    for (int i = 0; i < 9; ++i) {
+      odometer.Charge(step);
+    }
+    return odometer.CurrentDp(1e-6);
+  }();
+  EXPECT_EQ(odometer.charges(), 10u);
+  EXPECT_GT(after10.epsilon, after1.epsilon);
+  // RDP composition: 10 steps cost far less than 10x the single translation (sqrt scaling).
+  EXPECT_LT(after10.epsilon, 10.0 * after1.epsilon);
+}
+
+TEST(PrivacyOdometerTest, MonotoneInCharges) {
+  PrivacyOdometer odometer(Grid());
+  double last = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    odometer.Charge(SubsampledGaussianCurve(Grid(), 1.0, 0.02));
+    double eps = odometer.CurrentDp(1e-6).epsilon;
+    EXPECT_GE(eps, last);
+    last = eps;
+  }
+}
+
+TEST(FilterOdometerConsistencyTest, FilterAdmitsWhatOdometerSaysFits) {
+  // Charging the same sequence, the filter accepts exactly while the odometer's consumption
+  // stays within the filter budget at some order.
+  PrivacyFilter filter(Grid(), 6.0, 1e-6);
+  PrivacyOdometer odometer(Grid());
+  RdpCurve step = LaplaceCurve(Grid(), 3.0);
+  for (int i = 0; i < 100; ++i) {
+    RdpCurve next = odometer.consumed() + step;
+    bool fits = false;
+    for (size_t a = 0; a < Grid()->size(); ++a) {
+      double cap = filter.budget().epsilon(a);
+      if (cap > 0.0 && next.epsilon(a) <= cap + 1e-9 * (1.0 + cap)) {
+        fits = true;
+      }
+    }
+    EXPECT_EQ(filter.TryCharge(step), fits);
+    if (fits) {
+      odometer.Charge(step);
+    } else {
+      break;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dpack

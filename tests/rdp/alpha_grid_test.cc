@@ -1,0 +1,53 @@
+#include "src/rdp/alpha_grid.h"
+
+#include <gtest/gtest.h>
+
+namespace dpack {
+namespace {
+
+TEST(AlphaGridTest, DefaultGridMatchesPaper) {
+  AlphaGridPtr grid = AlphaGrid::Default();
+  ASSERT_EQ(grid->size(), 12u);
+  EXPECT_DOUBLE_EQ(grid->order(0), 1.5);
+  EXPECT_DOUBLE_EQ(grid->order(1), 1.75);
+  EXPECT_DOUBLE_EQ(grid->order(2), 2.0);
+  EXPECT_DOUBLE_EQ(grid->order(11), 64.0);
+}
+
+TEST(AlphaGridTest, DefaultIsSharedInstance) {
+  EXPECT_EQ(AlphaGrid::Default().get(), AlphaGrid::Default().get());
+}
+
+TEST(AlphaGridTest, TraditionalDpHasSingleOrder) {
+  EXPECT_EQ(AlphaGrid::TraditionalDp()->size(), 1u);
+}
+
+TEST(AlphaGridTest, IndexOfFindsExactOrders) {
+  AlphaGridPtr grid = AlphaGrid::Default();
+  EXPECT_EQ(grid->IndexOf(5.0), 6u);
+  EXPECT_EQ(grid->IndexOf(64.0), 11u);
+  EXPECT_EQ(grid->IndexOf(7.0), grid->size());
+}
+
+TEST(AlphaGridTest, CreateCustomGrid) {
+  AlphaGridPtr grid = AlphaGrid::Create({2.0, 4.0, 8.0});
+  ASSERT_EQ(grid->size(), 3u);
+  EXPECT_DOUBLE_EQ(grid->order(1), 4.0);
+}
+
+TEST(AlphaGridTest, SameGridComparesContent) {
+  AlphaGridPtr a = AlphaGrid::Create({2.0, 3.0});
+  AlphaGridPtr b = AlphaGrid::Create({2.0, 3.0});
+  AlphaGridPtr c = AlphaGrid::Create({2.0, 4.0});
+  EXPECT_TRUE(SameGrid(a, b));
+  EXPECT_FALSE(SameGrid(a, c));
+  EXPECT_TRUE(SameGrid(a, a));
+}
+
+TEST(AlphaGridDeathTest, RejectsInvalidOrders) {
+  EXPECT_DEATH(AlphaGrid::Create({1.0, 2.0}), "orders must be");
+  EXPECT_DEATH(AlphaGrid::Create({3.0, 2.0}), "increasing");
+}
+
+}  // namespace
+}  // namespace dpack

@@ -1,0 +1,99 @@
+#include "src/sim/sim_driver.h"
+
+#include <gtest/gtest.h>
+
+namespace dpack {
+namespace {
+
+AlphaGridPtr Grid() { return AlphaGrid::Default(); }
+
+Task FractionTask(TaskId id, double fraction, size_t recent, double arrival) {
+  RdpCurve capacity = BlockCapacityCurve(Grid(), 10.0, 1e-7);
+  Task t(id, 1.0, capacity.Scaled(fraction));
+  t.num_recent_blocks = recent;
+  t.arrival_time = arrival;
+  return t;
+}
+
+SimConfig SmallConfig() {
+  SimConfig config;
+  config.num_blocks = 5;
+  config.unlock_steps = 4;
+  config.period = 1.0;
+  return config;
+}
+
+TEST(SimDriverTest, OnlineAllocatesEverythingWhenBudgetAmple) {
+  std::vector<Task> tasks;
+  for (int i = 0; i < 10; ++i) {
+    tasks.push_back(FractionTask(i, 0.01, 2, static_cast<double>(i % 5)));
+  }
+  SimResult result = RunOnlineSimulation(CreateScheduler(SchedulerKind::kDpack), tasks,
+                                         SmallConfig());
+  EXPECT_EQ(result.metrics.submitted(), 10u);
+  EXPECT_EQ(result.metrics.allocated(), 10u);
+  EXPECT_EQ(result.blocks_created, 5u);
+  EXPECT_EQ(result.pending_at_end, 0u);
+}
+
+TEST(SimDriverTest, ContendedBudgetLimitsAllocations) {
+  // 20 tasks each wanting 30% of one block's budget: at most 3 fit per block.
+  std::vector<Task> tasks;
+  for (int i = 0; i < 20; ++i) {
+    tasks.push_back(FractionTask(i, 0.30, 1, 0.1));
+  }
+  SimConfig config = SmallConfig();
+  config.num_blocks = 1;
+  SimResult result = RunOnlineSimulation(CreateScheduler(SchedulerKind::kDpack), tasks, config);
+  EXPECT_EQ(result.metrics.allocated(), 3u);
+  EXPECT_EQ(result.pending_at_end, 17u);
+}
+
+TEST(SimDriverTest, DelaysReflectUnlocking) {
+  // A single task wanting 100% of a block must wait for the final unlock step.
+  std::vector<Task> tasks = {FractionTask(0, 1.0, 1, 0.0)};
+  SimConfig config = SmallConfig();
+  config.num_blocks = 1;
+  config.unlock_steps = 4;
+  SimResult result = RunOnlineSimulation(CreateScheduler(SchedulerKind::kDpack), tasks, config);
+  ASSERT_EQ(result.metrics.allocated(), 1u);
+  EXPECT_DOUBLE_EQ(result.metrics.delays().Quantile(0.5), 3.0);  // Unlocked at cycle t = 3.
+}
+
+TEST(SimDriverTest, DeterministicAcrossRuns) {
+  std::vector<Task> tasks;
+  for (int i = 0; i < 30; ++i) {
+    tasks.push_back(FractionTask(i, 0.2, 2, static_cast<double>(i) / 7.0));
+  }
+  SimResult a = RunOnlineSimulation(CreateScheduler(SchedulerKind::kDpf), tasks, SmallConfig());
+  SimResult b = RunOnlineSimulation(CreateScheduler(SchedulerKind::kDpf), tasks, SmallConfig());
+  EXPECT_EQ(a.metrics.allocated(), b.metrics.allocated());
+  EXPECT_EQ(a.cycles_run, b.cycles_run);
+}
+
+TEST(SimDriverTest, OfflineScheduleGrantsImmediately) {
+  std::vector<Task> tasks;
+  for (int i = 0; i < 4; ++i) {
+    tasks.push_back(FractionTask(i, 0.2, 3, 0.0));
+  }
+  auto scheduler = CreateScheduler(SchedulerKind::kDpack);
+  SimResult result = RunOfflineSchedule(*scheduler, tasks, SmallConfig());
+  EXPECT_EQ(result.metrics.allocated(), 4u);
+  EXPECT_EQ(result.cycles_run, 1u);
+}
+
+TEST(SimDriverTest, TimeoutsEvict) {
+  std::vector<Task> tasks;
+  Task hopeless = FractionTask(0, 0.9, 1, 0.0);
+  hopeless.timeout = 1.0;
+  tasks.push_back(hopeless);
+  SimConfig config = SmallConfig();
+  config.num_blocks = 1;
+  config.unlock_steps = 100;  // Unlocks far too slowly for a 90% task within the horizon.
+  SimResult result = RunOnlineSimulation(CreateScheduler(SchedulerKind::kFcfs), tasks, config);
+  EXPECT_EQ(result.metrics.allocated(), 0u);
+  EXPECT_EQ(result.metrics.evicted(), 1u);
+}
+
+}  // namespace
+}  // namespace dpack

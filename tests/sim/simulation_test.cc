@@ -1,0 +1,74 @@
+#include "src/sim/simulation.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dpack {
+namespace {
+
+TEST(SimulationTest, EventsFireInTimeOrder) {
+  Simulation sim;
+  std::vector<int> fired;
+  sim.At(3.0, EventPriority::kTaskArrival, [&] { fired.push_back(3); });
+  sim.At(1.0, EventPriority::kTaskArrival, [&] { fired.push_back(1); });
+  sim.At(2.0, EventPriority::kTaskArrival, [&] { fired.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+  EXPECT_EQ(sim.events_processed(), 3u);
+}
+
+TEST(SimulationTest, PriorityBreaksTimestampTies) {
+  Simulation sim;
+  std::vector<int> fired;
+  sim.At(1.0, EventPriority::kScheduling, [&] { fired.push_back(2); });
+  sim.At(1.0, EventPriority::kBlockArrival, [&] { fired.push_back(0); });
+  sim.At(1.0, EventPriority::kTaskArrival, [&] { fired.push_back(1); });
+  sim.Run();
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(SimulationTest, InsertionOrderBreaksFullTies) {
+  Simulation sim;
+  std::vector<int> fired;
+  sim.At(1.0, EventPriority::kTaskArrival, [&] { fired.push_back(1); });
+  sim.At(1.0, EventPriority::kTaskArrival, [&] { fired.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+}
+
+TEST(SimulationTest, CallbacksMayScheduleMoreEvents) {
+  Simulation sim;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    ++count;
+    if (count < 5) {
+      sim.After(1.0, EventPriority::kScheduling, tick);
+    }
+  };
+  sim.At(0.0, EventPriority::kScheduling, tick);
+  sim.Run();
+  EXPECT_EQ(count, 5);
+  EXPECT_DOUBLE_EQ(sim.now(), 4.0);
+}
+
+TEST(SimulationTest, RunUntilStopsAtHorizon) {
+  Simulation sim;
+  int fired = 0;
+  sim.At(1.0, EventPriority::kScheduling, [&] { ++fired; });
+  sim.At(10.0, EventPriority::kScheduling, [&] { ++fired; });
+  sim.RunUntil(5.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+}
+
+TEST(SimulationDeathTest, SchedulingInThePastAborts) {
+  Simulation sim;
+  sim.At(2.0, EventPriority::kScheduling, [] {});
+  sim.Run();
+  EXPECT_DEATH(sim.At(1.0, EventPriority::kScheduling, [] {}), "past");
+}
+
+}  // namespace
+}  // namespace dpack

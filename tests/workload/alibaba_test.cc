@@ -1,0 +1,114 @@
+#include "src/workload/alibaba.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "src/workload/workload_stats.h"
+
+namespace dpack {
+namespace {
+
+class AlibabaTest : public testing::Test {
+ protected:
+  AlibabaTest()
+      : grid_(AlphaGrid::Default()),
+        capacity_(BlockCapacityCurve(grid_, 10.0, 1e-7)),
+        pool_(grid_, capacity_) {}
+
+  std::vector<Task> Generate(size_t n, uint64_t seed = 1) {
+    AlibabaConfig config;
+    config.num_tasks = n;
+    config.arrival_span = 30.0;
+    config.seed = seed;
+    return GenerateAlibabaDp(pool_, config);
+  }
+
+  AlphaGridPtr grid_;
+  RdpCurve capacity_;
+  CurvePool pool_;
+};
+
+TEST_F(AlibabaTest, RespectsTruncationRules) {
+  std::vector<Task> tasks = Generate(2000);
+  for (const Task& t : tasks) {
+    double eps_min = pool_.NormalizedEpsMin(t.demand);
+    EXPECT_GE(eps_min, 0.001 - 1e-9);
+    EXPECT_LE(eps_min, 1.0 + 1e-9);
+    EXPECT_GE(t.num_recent_blocks, 1u);
+    EXPECT_LE(t.num_recent_blocks, 100u);
+  }
+}
+
+TEST_F(AlibabaTest, ArrivalsSortedWithinSpan) {
+  std::vector<Task> tasks = Generate(500);
+  EXPECT_TRUE(std::is_sorted(tasks.begin(), tasks.end(),
+                             [](const Task& a, const Task& b) {
+                               return a.arrival_time < b.arrival_time;
+                             }));
+  for (const Task& t : tasks) {
+    EXPECT_GE(t.arrival_time, 0.0);
+    EXPECT_LT(t.arrival_time, 30.0);
+  }
+}
+
+TEST_F(AlibabaTest, HeavyTailedDemands) {
+  // Memory -> epsilon proxy: many small demands, a long tail of large ones.
+  std::vector<Task> tasks = Generate(5000);
+  WorkloadStats stats = ComputeWorkloadStats(tasks, capacity_);
+  EXPECT_LT(stats.eps_min.mean(), 0.2);  // Mostly small.
+  double max_eps = 0.0;
+  for (const Task& t : tasks) {
+    max_eps = std::max(max_eps, pool_.NormalizedEpsMin(t.demand));
+  }
+  EXPECT_GT(max_eps, 0.5);  // But a heavy tail exists.
+}
+
+TEST_F(AlibabaTest, BlockRequestHeterogeneity) {
+  // The property DPack exploits: substantial variance in requested block counts.
+  std::vector<Task> tasks = Generate(5000);
+  WorkloadStats stats = ComputeWorkloadStats(tasks, capacity_);
+  EXPECT_GT(stats.blocks_per_task.variation_coefficient(), 0.5);
+  EXPECT_GT(stats.FractionRequestingAtMost(2), 0.3);  // Many small requests.
+}
+
+TEST_F(AlibabaTest, BestAlphaHeterogeneity) {
+  // CPU (Laplace/Gaussian) and GPU (subsampled compositions) mechanisms spread best alphas
+  // over several orders.
+  std::vector<Task> tasks = Generate(3000);
+  WorkloadStats stats = ComputeWorkloadStats(tasks, capacity_);
+  size_t distinct = 0;
+  for (size_t count : stats.best_alpha_counts) {
+    if (count > 20) {
+      ++distinct;
+    }
+  }
+  EXPECT_GE(distinct, 3u);
+}
+
+TEST_F(AlibabaTest, DeterministicForSeed) {
+  std::vector<Task> a = Generate(300, 42);
+  std::vector<Task> b = Generate(300, 42);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].arrival_time, b[i].arrival_time);
+    EXPECT_EQ(a[i].num_recent_blocks, b[i].num_recent_blocks);
+    EXPECT_EQ(a[i].demand.epsilons(), b[i].demand.epsilons());
+  }
+}
+
+TEST_F(AlibabaTest, SeedsProduceDifferentWorkloads) {
+  std::vector<Task> a = Generate(100, 1);
+  std::vector<Task> b = Generate(100, 2);
+  bool any_different = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].num_recent_blocks != b[i].num_recent_blocks) {
+      any_different = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_different);
+}
+
+}  // namespace
+}  // namespace dpack

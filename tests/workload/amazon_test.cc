@@ -1,0 +1,127 @@
+#include "src/workload/amazon.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/workload/workload_stats.h"
+
+namespace dpack {
+namespace {
+
+class AmazonTest : public testing::Test {
+ protected:
+  AmazonTest()
+      : grid_(AlphaGrid::Default()),
+        capacity_(BlockCapacityCurve(grid_, 10.0, 1e-7)),
+        pool_(grid_, capacity_) {}
+
+  std::vector<Task> Generate(double rate, bool weighted, uint64_t seed = 1) {
+    AmazonConfig config;
+    config.mean_tasks_per_block = rate;
+    config.arrival_span = 10.0;
+    config.weighted = weighted;
+    config.seed = seed;
+    return GenerateAmazon(pool_, config);
+  }
+
+  AlphaGridPtr grid_;
+  RdpCurve capacity_;
+  CurvePool pool_;
+};
+
+TEST(AmazonCatalogTest, Has42TypesWithPaperSplit) {
+  std::vector<AmazonTaskType> catalog = AmazonTaskCatalog();
+  ASSERT_EQ(catalog.size(), 42u);
+  size_t large = 0;
+  for (const auto& type : catalog) {
+    if (type.is_large) {
+      ++large;
+    }
+    EXPECT_GE(type.num_recent_blocks, 1u);
+    EXPECT_LE(type.num_recent_blocks, 50u);
+  }
+  EXPECT_EQ(large, 24u);  // 24 NN types, 18 statistics types.
+}
+
+TEST(AmazonCatalogTest, StatisticsAreSingleBlockLaplace) {
+  for (const auto& type : AmazonTaskCatalog()) {
+    if (!type.is_large) {
+      EXPECT_EQ(type.mechanism.type, MechanismType::kLaplace);
+      EXPECT_EQ(type.num_recent_blocks, 1u);
+    } else {
+      EXPECT_EQ(type.mechanism.type, MechanismType::kComposedSubsampledGaussian);
+    }
+  }
+}
+
+TEST_F(AmazonTest, ArrivalRateApproximatelyCorrect) {
+  std::vector<Task> tasks = Generate(500.0, false);
+  // 500/block over 10 blocks: ~5000 tasks (Poisson).
+  EXPECT_GT(tasks.size(), 4500u);
+  EXPECT_LT(tasks.size(), 5500u);
+}
+
+TEST_F(AmazonTest, BlockRequestSkewMatchesPaper) {
+  // ~63% request 1 block, >= 90% request <= 5, max 50 (§6.3).
+  std::vector<Task> tasks = Generate(400.0, false);
+  WorkloadStats stats = ComputeWorkloadStats(tasks, capacity_);
+  EXPECT_NEAR(stats.FractionRequestingAtMost(1), 0.63, 0.08);
+  EXPECT_GT(stats.FractionRequestingAtMost(5), 0.88);
+  EXPECT_LE(stats.blocks_per_task.max(), 50.0);
+}
+
+TEST_F(AmazonTest, BestAlphasConcentrateOnMidOrders) {
+  // The paper reports best alphas in {4, 5} with 81% at 5; our analytic curves concentrate
+  // on the mid orders 4-6. Verify concentration (>= 80% within {4, 5, 6}).
+  std::vector<Task> tasks = Generate(400.0, false);
+  WorkloadStats stats = ComputeWorkloadStats(tasks, capacity_);
+  size_t mid = stats.best_alpha_counts[grid_->IndexOf(4.0)] +
+               stats.best_alpha_counts[grid_->IndexOf(5.0)] +
+               stats.best_alpha_counts[grid_->IndexOf(6.0)];
+  EXPECT_GT(static_cast<double>(mid) / static_cast<double>(tasks.size()), 0.8);
+}
+
+TEST_F(AmazonTest, UnweightedTasksHaveWeightOne) {
+  for (const Task& t : Generate(100.0, false)) {
+    EXPECT_DOUBLE_EQ(t.weight, 1.0);
+  }
+}
+
+TEST_F(AmazonTest, WeightsDrawnFromPaperGrids) {
+  std::set<double> allowed = {1.0, 5.0, 10.0, 50.0, 100.0, 500.0};
+  std::set<double> seen;
+  for (const Task& t : Generate(300.0, true)) {
+    EXPECT_TRUE(allowed.count(t.weight)) << t.weight;
+    seen.insert(t.weight);
+  }
+  EXPECT_GE(seen.size(), 4u);  // Both grids are exercised.
+}
+
+TEST_F(AmazonTest, WeightingAddsUtilityHeterogeneity) {
+  // §6.3: random weights give tasks heterogeneous utility (unweighted tasks have none).
+  std::vector<Task> unweighted = Generate(300.0, false);
+  std::vector<Task> weighted = Generate(300.0, true);
+  auto weight_cv = [](const std::vector<Task>& tasks) {
+    RunningStat stat;
+    for (const Task& t : tasks) {
+      stat.Add(t.weight);
+    }
+    return stat.variation_coefficient();
+  };
+  EXPECT_DOUBLE_EQ(weight_cv(unweighted), 0.0);
+  EXPECT_GT(weight_cv(weighted), 0.5);
+}
+
+TEST_F(AmazonTest, DeterministicForSeed) {
+  std::vector<Task> a = Generate(100.0, true, 5);
+  std::vector<Task> b = Generate(100.0, true, 5);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].arrival_time, b[i].arrival_time);
+    EXPECT_DOUBLE_EQ(a[i].weight, b[i].weight);
+  }
+}
+
+}  // namespace
+}  // namespace dpack

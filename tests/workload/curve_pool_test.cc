@@ -1,0 +1,127 @@
+#include "src/workload/curve_pool.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace dpack {
+namespace {
+
+class CurvePoolTest : public testing::Test {
+ protected:
+  CurvePoolTest()
+      : grid_(AlphaGrid::Default()),
+        pool_(grid_, BlockCapacityCurve(grid_, 10.0, 1e-7)) {}
+
+  AlphaGridPtr grid_;
+  CurvePool pool_;
+};
+
+TEST_F(CurvePoolTest, Has620Curves) { EXPECT_EQ(pool_.size(), 620u); }
+
+TEST_F(CurvePoolTest, BucketsContainNonOutlierCurves) {
+  // Buckets exclude outliers (raw normalized eps_min < 0.05, the paper's rule) but must
+  // still cover a substantial part of the pool.
+  size_t total = 0;
+  for (size_t b = 0; b < pool_.bucket_count(); ++b) {
+    total += pool_.bucket(b).size();
+    for (size_t idx : pool_.bucket(b)) {
+      EXPECT_GE(pool_.NormalizedEpsMin(pool_.curve(idx)), 0.05);
+    }
+  }
+  EXPECT_LE(total, pool_.size());
+  EXPECT_GE(total, pool_.size() / 4);
+}
+
+TEST_F(CurvePoolTest, CoversTheUsableAlphaRange) {
+  // §6.2 requires at least one curve with best alpha at each usable order
+  // {3, 4, 5, 6, 8, 16, 32, 64} for the (10, 1e-7) budget.
+  std::set<double> bucket_alphas;
+  for (size_t b = 0; b < pool_.bucket_count(); ++b) {
+    bucket_alphas.insert(pool_.bucket_alpha(b));
+  }
+  for (double alpha : {3.0, 4.0, 5.0, 6.0, 8.0, 16.0, 32.0, 64.0}) {
+    EXPECT_TRUE(bucket_alphas.count(alpha)) << "no curve has best alpha " << alpha;
+  }
+}
+
+TEST_F(CurvePoolTest, BestAlphaIsArgminOfNormalizedDemand) {
+  const RdpCurve& capacity = pool_.capacity();
+  for (size_t i = 0; i < pool_.size(); i += 13) {
+    size_t best = pool_.BestAlphaIndex(i);
+    double best_share = pool_.curve(i).epsilon(best) / capacity.epsilon(best);
+    for (size_t a = 0; a < grid_->size(); ++a) {
+      if (capacity.epsilon(a) <= 0.0) {
+        continue;
+      }
+      EXPECT_LE(best_share, pool_.curve(i).epsilon(a) / capacity.epsilon(a) + 1e-12);
+    }
+  }
+}
+
+TEST_F(CurvePoolTest, ScalingHitsTargetEpsMinAndPreservesBestAlpha) {
+  for (size_t i = 0; i < pool_.size(); i += 37) {
+    for (double target : {0.005, 0.1, 0.9}) {
+      RdpCurve scaled = pool_.ScaledToEpsMin(i, target);
+      EXPECT_NEAR(pool_.NormalizedEpsMin(scaled), target, 1e-9);
+      // Multiplicative scaling preserves the argmin.
+      double best_share = scaled.epsilon(pool_.BestAlphaIndex(i)) /
+                          pool_.capacity().epsilon(pool_.BestAlphaIndex(i));
+      EXPECT_NEAR(best_share, target, 1e-9);
+    }
+  }
+}
+
+TEST_F(CurvePoolTest, ShiftingHitsTargetPreservesBestAlphaAndGaps) {
+  const RdpCurve& capacity = pool_.capacity();
+  for (size_t b = 0; b < pool_.bucket_count(); ++b) {
+    size_t i = pool_.bucket(b)[0];
+    for (double target : {0.005, 0.1}) {
+      RdpCurve shifted = pool_.ShiftedToEpsMin(i, target);
+      EXPECT_NEAR(pool_.NormalizedEpsMin(shifted), target, 1e-9);
+      size_t best = pool_.BestAlphaIndex(i);
+      // The best alpha stays the argmin of the shifted curve.
+      EXPECT_NEAR(shifted.epsilon(best) / capacity.epsilon(best), target, 1e-9);
+      // Absolute share gaps to other orders are preserved where no clamping occurred.
+      double raw_min = pool_.NormalizedEpsMin(pool_.curve(i));
+      for (size_t a = 0; a < capacity.size(); ++a) {
+        if (capacity.epsilon(a) <= 0.0) {
+          continue;
+        }
+        double raw_gap = pool_.curve(i).epsilon(a) / capacity.epsilon(a) - raw_min;
+        double new_gap = shifted.epsilon(a) / capacity.epsilon(a) - target;
+        if (shifted.epsilon(a) > 0.0) {
+          EXPECT_NEAR(new_gap, raw_gap, 1e-9);
+        }
+      }
+    }
+  }
+}
+
+TEST_F(CurvePoolTest, BucketNearestAlpha) {
+  size_t b5 = pool_.BucketNearestAlpha(5.0);
+  EXPECT_DOUBLE_EQ(pool_.bucket_alpha(b5), 5.0);
+  // 64 is the largest usable order.
+  size_t btop = pool_.BucketNearestAlpha(1000.0);
+  EXPECT_DOUBLE_EQ(pool_.bucket_alpha(btop), 64.0);
+}
+
+TEST_F(CurvePoolTest, BucketMembersShareBestAlpha) {
+  for (size_t b = 0; b < pool_.bucket_count(); ++b) {
+    for (size_t idx : pool_.bucket(b)) {
+      EXPECT_EQ(pool_.BestAlphaIndex(idx), pool_.bucket_order_index(b));
+    }
+  }
+}
+
+TEST_F(CurvePoolTest, AllFiveFamiliesPlusCalibratedPresent) {
+  std::set<MechanismType> types;
+  for (size_t i = 0; i < pool_.size(); ++i) {
+    types.insert(pool_.spec(i).type);
+  }
+  EXPECT_EQ(types.size(), 6u);  // 5 analytic families + calibrated coverage curves.
+  EXPECT_TRUE(types.count(MechanismType::kCalibratedVShape));
+}
+
+}  // namespace
+}  // namespace dpack

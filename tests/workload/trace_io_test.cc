@@ -1,0 +1,87 @@
+#include "src/workload/trace_io.h"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "src/workload/alibaba.h"
+#include "src/workload/curve_pool.h"
+
+namespace dpack {
+namespace {
+
+AlphaGridPtr Grid() { return AlphaGrid::Default(); }
+
+std::vector<Task> SampleWorkload(size_t n) {
+  CurvePool pool(Grid(), BlockCapacityCurve(Grid(), 10.0, 1e-7));
+  AlibabaConfig config;
+  config.num_tasks = n;
+  config.arrival_span = 10.0;
+  config.seed = 3;
+  return GenerateAlibabaDp(pool, config);
+}
+
+TEST(TraceIoTest, RoundTripsTasksExactly) {
+  std::vector<Task> tasks = SampleWorkload(50);
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteTrace(buffer, tasks, Grid()));
+  std::vector<Task> loaded = ReadTrace(buffer, Grid());
+  ASSERT_EQ(loaded.size(), tasks.size());
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    EXPECT_EQ(loaded[i].id, tasks[i].id);
+    EXPECT_DOUBLE_EQ(loaded[i].weight, tasks[i].weight);
+    EXPECT_DOUBLE_EQ(loaded[i].arrival_time, tasks[i].arrival_time);
+    EXPECT_EQ(loaded[i].num_recent_blocks, tasks[i].num_recent_blocks);
+    EXPECT_EQ(loaded[i].demand.epsilons(), tasks[i].demand.epsilons());
+  }
+}
+
+TEST(TraceIoTest, InfiniteTimeoutRoundTrips) {
+  std::vector<Task> tasks = SampleWorkload(3);
+  tasks[0].timeout = std::numeric_limits<double>::infinity();
+  tasks[1].timeout = 12.5;
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteTrace(buffer, tasks, Grid()));
+  std::vector<Task> loaded = ReadTrace(buffer, Grid());
+  EXPECT_TRUE(std::isinf(loaded[0].timeout));
+  EXPECT_DOUBLE_EQ(loaded[1].timeout, 12.5);
+}
+
+TEST(TraceIoTest, FileRoundTrip) {
+  std::vector<Task> tasks = SampleWorkload(10);
+  std::string path = testing::TempDir() + "/dpack_trace_test.csv";
+  ASSERT_TRUE(WriteTraceFile(path, tasks, Grid()));
+  std::vector<Task> loaded = ReadTraceFile(path, Grid());
+  EXPECT_EQ(loaded.size(), tasks.size());
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoDeathTest, RejectsWrongMagic) {
+  std::stringstream buffer("not_a_trace,1.5\nheader\n");
+  EXPECT_DEATH(ReadTrace(buffer, Grid()), "not a dpack trace");
+}
+
+TEST(TraceIoDeathTest, RejectsGridMismatch) {
+  std::vector<Task> tasks;
+  Task t(0, 1.0, RdpCurve(AlphaGrid::TraditionalDp()));
+  t.num_recent_blocks = 1;
+  tasks.push_back(t);
+  std::stringstream buffer;
+  WriteTrace(buffer, tasks, AlphaGrid::TraditionalDp());
+  EXPECT_DEATH(ReadTrace(buffer, Grid()), "grid");
+}
+
+TEST(TraceIoTest, ResolvedBlockListsExportAsRecentCount) {
+  std::vector<Task> tasks = SampleWorkload(1);
+  tasks[0].blocks = {0, 1, 2};  // Resolved list exports as a count of 3.
+  std::stringstream buffer;
+  WriteTrace(buffer, tasks, Grid());
+  std::vector<Task> loaded = ReadTrace(buffer, Grid());
+  EXPECT_TRUE(loaded[0].blocks.empty());
+  EXPECT_EQ(loaded[0].num_recent_blocks, 3u);
+}
+
+}  // namespace
+}  // namespace dpack
