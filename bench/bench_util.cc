@@ -35,6 +35,26 @@ const CurvePool& SharedPool() {
   return *pool;
 }
 
+std::vector<Task> SteadyStateTasks(size_t n) {
+  Rng rng(17);
+  RdpCurve capacity = BlockCapacityCurve(AlphaGrid::Default(), kEpsG, kDeltaG);
+  std::vector<Task> tasks;
+  tasks.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Task task(static_cast<TaskId>(i), 1.0, capacity.Scaled(rng.Uniform(1.5, 3.0)));
+    size_t count = static_cast<size_t>(rng.UniformInt(1, 5));
+    for (size_t idx : rng.SampleWithoutReplacement(kSteadyStateBlocks, count)) {
+      task.blocks.push_back(static_cast<BlockId>(idx));
+    }
+    tasks.push_back(std::move(task));
+  }
+  return tasks;
+}
+
+RdpCurve SteadyStateTinyDemand() {
+  return BlockCapacityCurve(AlphaGrid::Default(), kEpsG, kDeltaG).Scaled(1e-9);
+}
+
 void Banner(const std::string& experiment, const std::string& paper_reference) {
   std::printf("\n================================================================\n");
   std::printf("%s  (%s)\n", experiment.c_str(), paper_reference.c_str());

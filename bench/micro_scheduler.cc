@@ -48,5 +48,62 @@ BENCHMARK(BM_AreaBatch)->Arg(100)->Arg(1000)->Arg(5000)->Unit(benchmark::kMillis
 void BM_FcfsBatch(benchmark::State& state) { RunBatch(state, SchedulerKind::kFcfs); }
 BENCHMARK(BM_FcfsBatch)->Arg(100)->Arg(1000)->Arg(5000)->Unit(benchmark::kMillisecond);
 
+// --- Incremental engine vs recompute in the online steady state ---------------------------
+//
+// The regime of the tentpole claim: a persistent scheduler sees the same large pending queue
+// cycle after cycle while only a small fraction of blocks (1/20 = 5% here) changes between
+// cycles. The recompute path rescores everything; the incremental engine rescores only the
+// tasks touching the dirtied block. The workload (bench_util's SteadyStateTasks) is shared
+// with the fig5 addendum so both harnesses measure the same scenario.
+
+void RunSteadyState(benchmark::State& state, GreedyMetric metric, bool incremental) {
+  std::vector<Task> tasks = SteadyStateTasks(static_cast<size_t>(state.range(0)));
+  BlockManager blocks(AlphaGrid::Default(), kEpsG, kDeltaG);
+  for (size_t b = 0; b < kSteadyStateBlocks; ++b) {
+    blocks.AddBlock(0.0, /*unlocked=*/true);
+  }
+  RdpCurve tiny = SteadyStateTinyDemand();
+  GreedyScheduler scheduler(metric, GreedySchedulerOptions{.incremental = incremental});
+  scheduler.ScheduleBatch(tasks, blocks);  // Warm the cache: steady state, not first cycle.
+  size_t dirty_cursor = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    // Dirty 1 of 20 blocks (5%) per cycle, as a real cycle's commits would.
+    blocks.block(static_cast<BlockId>(dirty_cursor++ % kSteadyStateBlocks)).Commit(tiny);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(scheduler.ScheduleBatch(tasks, blocks));
+  }
+}
+
+void BM_DpackSteadyIncremental(benchmark::State& state) {
+  RunSteadyState(state, GreedyMetric::kDpack, true);
+}
+BENCHMARK(BM_DpackSteadyIncremental)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+void BM_DpackSteadyRecompute(benchmark::State& state) {
+  RunSteadyState(state, GreedyMetric::kDpack, false);
+}
+BENCHMARK(BM_DpackSteadyRecompute)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+void BM_DpfSteadyIncremental(benchmark::State& state) {
+  RunSteadyState(state, GreedyMetric::kDpf, true);
+}
+BENCHMARK(BM_DpfSteadyIncremental)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+void BM_DpfSteadyRecompute(benchmark::State& state) {
+  RunSteadyState(state, GreedyMetric::kDpf, false);
+}
+BENCHMARK(BM_DpfSteadyRecompute)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+void BM_AreaSteadyIncremental(benchmark::State& state) {
+  RunSteadyState(state, GreedyMetric::kArea, true);
+}
+BENCHMARK(BM_AreaSteadyIncremental)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+void BM_AreaSteadyRecompute(benchmark::State& state) {
+  RunSteadyState(state, GreedyMetric::kArea, false);
+}
+BENCHMARK(BM_AreaSteadyRecompute)->Arg(1000)->Unit(benchmark::kMillisecond);
+
 }  // namespace
 }  // namespace dpack::bench

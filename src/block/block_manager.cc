@@ -16,6 +16,7 @@ BlockId BlockManager::AddBlock(double arrival_time, bool unlocked) {
   BlockId id = static_cast<BlockId>(blocks_.size());
   blocks_.push_back(std::make_unique<PrivacyBlock>(id, grid_, eps_g_, delta_g_, arrival_time,
                                                    unlocked ? 1.0 : 0.0));
+  ++epoch_;
   return id;
 }
 
@@ -25,6 +26,7 @@ BlockId BlockManager::AddBlockWithCapacity(RdpCurve capacity, double arrival_tim
   BlockId id = static_cast<BlockId>(blocks_.size());
   blocks_.push_back(std::make_unique<PrivacyBlock>(id, std::move(capacity), arrival_time,
                                                    unlocked ? 1.0 : 0.0));
+  ++epoch_;
   return id;
 }
 
@@ -50,6 +52,7 @@ std::vector<BlockId> BlockManager::MostRecentBlocks(size_t n) const {
 
 BlockManager BlockManager::Clone() const {
   BlockManager copy(grid_, eps_g_, delta_g_);
+  copy.epoch_ = epoch_;
   copy.blocks_.reserve(blocks_.size());
   for (const auto& block : blocks_) {
     copy.blocks_.push_back(std::make_unique<PrivacyBlock>(*block));

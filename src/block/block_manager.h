@@ -33,6 +33,13 @@ class BlockManager {
   PrivacyBlock& block(BlockId id);
   const PrivacyBlock& block(BlockId id) const;
 
+  // Monotonic arrival epoch, bumped whenever a block is added. Combined with the per-block
+  // versions this gives consumers an exact change signal: if the epoch and every block
+  // version are unchanged since the last observation, the manager's capacity state is
+  // bit-identical. Clone() preserves the epoch and all versions so a clone's observations
+  // remain comparable to the original's.
+  uint64_t epoch() const { return epoch_; }
+
   // Ids of the `n` most recent blocks (or all if fewer exist), most recent last.
   std::vector<BlockId> MostRecentBlocks(size_t n) const;
 
@@ -49,6 +56,7 @@ class BlockManager {
   AlphaGridPtr grid_;
   double eps_g_;
   double delta_g_;
+  uint64_t epoch_ = 0;
   std::vector<std::unique_ptr<PrivacyBlock>> blocks_;
 };
 

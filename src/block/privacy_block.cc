@@ -25,17 +25,25 @@ PrivacyBlock::PrivacyBlock(BlockId id, const AlphaGridPtr& grid, double eps_g, d
 void PrivacyBlock::SetUnlockedFraction(double fraction) {
   DPACK_CHECK(fraction >= 0.0 && fraction <= 1.0);
   // Unlocking is monotone: budget never re-locks, so stale (smaller) updates are ignored.
-  unlocked_fraction_ = std::max(unlocked_fraction_, fraction);
+  // Only an effective increase changes the available capacity, hence the version.
+  if (fraction > unlocked_fraction_) {
+    unlocked_fraction_ = fraction;
+    ++version_;
+  }
 }
 
 double PrivacyBlock::UnlockedCapacityAt(size_t alpha_index) const {
   return unlocked_fraction_ * capacity_.epsilon(alpha_index);
 }
 
+double PrivacyBlock::AvailableAt(size_t alpha_index) const {
+  return std::max(0.0, UnlockedCapacityAt(alpha_index) - consumed_.epsilon(alpha_index));
+}
+
 RdpCurve PrivacyBlock::AvailableCurve() const {
   std::vector<double> available(capacity_.size());
   for (size_t i = 0; i < capacity_.size(); ++i) {
-    available[i] = std::max(0.0, UnlockedCapacityAt(i) - consumed_.epsilon(i));
+    available[i] = AvailableAt(i);
   }
   return RdpCurve(capacity_.grid(), std::move(available));
 }
@@ -60,6 +68,7 @@ bool PrivacyBlock::CanAccept(const RdpCurve& demand) const {
 void PrivacyBlock::Commit(const RdpCurve& demand) {
   DPACK_CHECK_MSG(CanAccept(demand), "Commit on a demand the filter rejects");
   consumed_.Accumulate(demand);
+  ++version_;
 }
 
 bool PrivacyBlock::Exhausted() const {

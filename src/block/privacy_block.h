@@ -47,8 +47,20 @@ class PrivacyBlock {
   double unlocked_fraction() const { return unlocked_fraction_; }
   void SetUnlockedFraction(double fraction);
 
+  // Monotonic state version, bumped on every state change that can alter the available
+  // capacity: each Commit and each *effective* unlock increase (SetUnlockedFraction calls
+  // that do not raise the fraction leave it untouched). Invariant: equal versions observed
+  // at two points in time imply bit-identical AvailableCurve() results, which is what lets
+  // the incremental scheduling engine (ScheduleContext) skip rescoring tasks whose blocks
+  // did not change between cycles.
+  uint64_t version() const { return version_; }
+
   // Unlocked capacity at order `alpha_index`: unlocked_fraction * capacity(alpha).
   double UnlockedCapacityAt(size_t alpha_index) const;
+
+  // Remaining unlocked capacity at one order, clamped at zero — AvailableCurve's per-order
+  // value without materializing the curve.
+  double AvailableAt(size_t alpha_index) const;
 
   // Remaining unlocked capacity per order, clamped at zero:
   // max(0, unlocked_fraction * capacity(alpha) - consumed(alpha)). This is the c_j(alpha)
@@ -74,6 +86,7 @@ class PrivacyBlock {
   RdpCurve consumed_;
   double arrival_time_;
   double unlocked_fraction_ = 1.0;
+  uint64_t version_ = 0;
 };
 
 }  // namespace dpack

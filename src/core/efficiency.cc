@@ -23,6 +23,20 @@ CapacitySnapshot::CapacitySnapshot(const BlockManager& blocks) : grid_(blocks.gr
   }
 }
 
+CapacitySnapshot::CapacitySnapshot(AlphaGridPtr grid) : grid_(std::move(grid)) {
+  DPACK_CHECK(grid_ != nullptr);
+}
+
+void CapacitySnapshot::Append(RdpCurve available, RdpCurve total) {
+  available_.push_back(std::move(available));
+  total_.push_back(std::move(total));
+}
+
+void CapacitySnapshot::RefreshAvailable(BlockId id, RdpCurve available) {
+  DPACK_CHECK(id >= 0 && static_cast<size_t>(id) < available_.size());
+  available_[static_cast<size_t>(id)] = std::move(available);
+}
+
 const RdpCurve& CapacitySnapshot::available(BlockId id) const {
   DPACK_CHECK(id >= 0 && static_cast<size_t>(id) < available_.size());
   return available_[static_cast<size_t>(id)];
@@ -112,7 +126,6 @@ std::vector<size_t> ComputeBestAlphas(std::span<const Task> tasks,
                                       const CapacitySnapshot& snapshot, double eta) {
   DPACK_CHECK(eta > 0.0);
   size_t num_blocks = snapshot.block_count();
-  size_t num_orders = snapshot.grid()->size();
 
   // Group pending tasks by requested block.
   std::vector<std::vector<size_t>> tasks_of_block(num_blocks);
@@ -124,44 +137,50 @@ std::vector<size_t> ComputeBestAlphas(std::span<const Task> tasks,
   }
 
   std::vector<size_t> best_alpha(num_blocks, 0);
-  std::vector<KnapsackItem> items;
   for (size_t j = 0; j < num_blocks; ++j) {
-    const RdpCurve& cap = snapshot.available(static_cast<BlockId>(j));
-    if (tasks_of_block[j].empty()) {
-      // No demand: pick the order with the largest available capacity.
-      size_t best = 0;
-      for (size_t a = 1; a < num_orders; ++a) {
-        if (cap.epsilon(a) > cap.epsilon(best)) {
-          best = a;
-        }
-      }
-      best_alpha[j] = best;
-      continue;
-    }
-    double best_value = -1.0;
+    best_alpha[j] = BestAlphaForBlock(tasks, tasks_of_block[j],
+                                      snapshot.available(static_cast<BlockId>(j)), eta);
+  }
+  return best_alpha;
+}
+
+size_t BestAlphaForBlock(std::span<const Task> tasks, std::span<const size_t> requesters,
+                         const RdpCurve& available, double eta) {
+  DPACK_CHECK(eta > 0.0);
+  size_t num_orders = available.size();
+  if (requesters.empty()) {
+    // No demand: pick the order with the largest available capacity.
     size_t best = 0;
-    for (size_t a = 0; a < num_orders; ++a) {
-      if (cap.epsilon(a) <= 0.0) {
-        continue;
-      }
-      items.clear();
-      items.reserve(tasks_of_block[j].size());
-      for (size_t i : tasks_of_block[j]) {
-        items.push_back({tasks[i].weight, tasks[i].demand.epsilon(a)});
-      }
-      KnapsackSolution sol = SolveSingleBlock(items, cap.epsilon(a), 2.0 / 3.0 * eta);
-      if (sol.total_profit > best_value) {
-        best_value = sol.total_profit;
+    for (size_t a = 1; a < num_orders; ++a) {
+      if (available.epsilon(a) > available.epsilon(best)) {
         best = a;
       }
     }
-    if (best_value < 0.0) {
-      // Block fully depleted at every order; keep order 0 (tasks demanding it score 0).
-      best = 0;
-    }
-    best_alpha[j] = best;
+    return best;
   }
-  return best_alpha;
+  double best_value = -1.0;
+  size_t best = 0;
+  std::vector<KnapsackItem> items;
+  items.reserve(requesters.size());
+  for (size_t a = 0; a < num_orders; ++a) {
+    if (available.epsilon(a) <= 0.0) {
+      continue;
+    }
+    items.clear();
+    for (size_t i : requesters) {
+      items.push_back({tasks[i].weight, tasks[i].demand.epsilon(a)});
+    }
+    KnapsackSolution sol = SolveSingleBlock(items, available.epsilon(a), 2.0 / 3.0 * eta);
+    if (sol.total_profit > best_value) {
+      best_value = sol.total_profit;
+      best = a;
+    }
+  }
+  if (best_value < 0.0) {
+    // Block fully depleted at every order; keep order 0 (tasks demanding it score 0).
+    best = 0;
+  }
+  return best;
 }
 
 }  // namespace dpack

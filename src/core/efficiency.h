@@ -25,6 +25,17 @@ class CapacitySnapshot {
  public:
   explicit CapacitySnapshot(const BlockManager& blocks);
 
+  // Empty snapshot for incremental maintenance (ScheduleContext): blocks are appended as
+  // they arrive and their available curves refreshed in place when their version changes.
+  // A snapshot kept in sync this way is bit-identical to one rebuilt from scratch, because
+  // a block whose version is unchanged recomputes the exact same AvailableCurve().
+  explicit CapacitySnapshot(AlphaGridPtr grid);
+
+  // Appends the state of the next block (id == block_count() before the call).
+  void Append(RdpCurve available, RdpCurve total);
+  // Replaces the available curve of an existing block (after a commit or unlock).
+  void RefreshAvailable(BlockId id, RdpCurve available);
+
   // Available capacity curve of block `id` (max(0, unlocked - consumed) per order).
   const RdpCurve& available(BlockId id) const;
   // Total capacity curve of block `id` (the fixed per-order global budget).
@@ -66,6 +77,14 @@ double DpackEfficiency(const Task& task, const CapacitySnapshot& snapshot,
 // `eta` is DPack's approximation parameter; the subproblems are solved to (2/3) eta.
 std::vector<size_t> ComputeBestAlphas(std::span<const Task> tasks,
                                       const CapacitySnapshot& snapshot, double eta);
+
+// One block's COMPUTE_BESTALPHA subproblem: `requesters` indexes into `tasks` the pending
+// tasks requesting the block, in batch order. Returns the order maximizing the (approximate)
+// attainable weight against `available`; the largest-capacity order when `requesters` is
+// empty; order 0 when every order is depleted. Both ComputeBestAlphas and the incremental
+// engine call this, so cached and recomputed best alphas are identical by construction.
+size_t BestAlphaForBlock(std::span<const Task> tasks, std::span<const size_t> requesters,
+                         const RdpCurve& available, double eta);
 
 }  // namespace dpack
 

@@ -20,6 +20,14 @@ OnlineScheduler::OnlineScheduler(std::unique_ptr<Scheduler> inner, BlockManager*
   }
 }
 
+const ScheduleContextStats* OnlineScheduler::context_stats() const {
+  const auto* greedy = dynamic_cast<const GreedyScheduler*>(inner_.get());
+  if (greedy == nullptr || greedy->context() == nullptr) {
+    return nullptr;
+  }
+  return &greedy->context()->stats();
+}
+
 void OnlineScheduler::ResolveBlocks(Task& task) {
   if (!task.blocks.empty() || task.num_recent_blocks == 0) {
     return;

@@ -1,6 +1,12 @@
 // Online batch scheduling driver (§3.4): tasks and blocks arrive over virtual time, a batch
 // scheduler runs every T time units against the unlocked fraction of block budgets, ungranted
 // tasks wait (until their timeout), and unused unlocked budget carries over.
+//
+// The inner scheduler instance is owned by this driver and persists across RunCycle calls —
+// deliberately, because an incremental GreedyScheduler carries a ScheduleContext whose cached
+// scores and best-alpha solutions only pay off when the same context sees every consecutive
+// cycle. The driver also never mutates a pending task between cycles (late block resolution
+// excepted), which is the immutability contract the context's id-keyed cache relies on.
 
 #ifndef SRC_CORE_ONLINE_SCHEDULER_H_
 #define SRC_CORE_ONLINE_SCHEDULER_H_
@@ -46,6 +52,10 @@ class OnlineScheduler {
   const AllocationMetrics& metrics() const { return metrics_; }
   Scheduler& inner() { return *inner_; }
   const OnlineSchedulerConfig& config() const { return config_; }
+
+  // Incremental-engine statistics of the inner scheduler, when it is a GreedyScheduler
+  // running on a ScheduleContext; nullptr otherwise (recompute mode, Optimal, wrappers).
+  const ScheduleContextStats* context_stats() const;
 
  private:
   void ResolveBlocks(Task& task);

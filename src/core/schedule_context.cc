@@ -1,0 +1,516 @@
+#include "src/core/schedule_context.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "src/common/check.h"
+
+namespace dpack {
+
+namespace {
+
+constexpr uint64_t kNoReject = std::numeric_limits<uint64_t>::max();
+
+// Single-multiply sequence mix (splitmix64-style avalanche on the value, then a multiply
+// fold). Sequence-sensitive, so a reordering of the same ids — which would change the item
+// order fed to the best-alpha knapsacks — also changes the signature.
+constexpr uint64_t kSigSeed = 1469598103934665603ULL;
+
+uint64_t SigMix(uint64_t sig, uint64_t value) {
+  value *= 0x9E3779B97F4A7C15ULL;
+  value ^= value >> 29;
+  return (sig ^ value) * 0xBF58476D1CE4E5B9ULL;
+}
+
+// Sorts task indices by score descending, breaking ties by arrival time then id so results
+// are deterministic. This is the recompute path's ordering; the incremental heap's
+// EntryBefore reproduces it exactly for unique ids.
+std::vector<size_t> OrderByScoreDesc(std::span<const Task> pending,
+                                     std::span<const double> scores) {
+  std::vector<size_t> order(pending.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (scores[a] != scores[b]) {
+      return scores[a] > scores[b];
+    }
+    if (pending[a].arrival_time != pending[b].arrival_time) {
+      return pending[a].arrival_time < pending[b].arrival_time;
+    }
+    return pending[a].id < pending[b].id;
+  });
+  return order;
+}
+
+std::vector<size_t> FcfsOrder(std::span<const Task> pending) {
+  std::vector<size_t> order(pending.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (pending[a].arrival_time != pending[b].arrival_time) {
+      return pending[a].arrival_time < pending[b].arrival_time;
+    }
+    return pending[a].id < pending[b].id;
+  });
+  return order;
+}
+
+}  // namespace
+
+std::vector<size_t> AllocateInOrder(std::span<const Task> pending, BlockManager& blocks,
+                                    std::span<const size_t> order) {
+  std::vector<size_t> granted;
+  for (size_t idx : order) {
+    const Task& task = pending[idx];
+    if (task.blocks.empty()) {
+      continue;  // Unresolved block request (no blocks in the system yet).
+    }
+    bool can_run = true;
+    for (BlockId j : task.blocks) {
+      if (!blocks.block(j).CanAccept(task.demand)) {
+        can_run = false;
+        break;
+      }
+    }
+    if (!can_run) {
+      continue;
+    }
+    for (BlockId j : task.blocks) {
+      blocks.block(j).Commit(task.demand);
+    }
+    granted.push_back(idx);
+  }
+  return granted;
+}
+
+std::vector<size_t> RecomputeScheduleBatch(GreedyMetric metric, double eta,
+                                           std::span<const Task> pending,
+                                           BlockManager& blocks) {
+  if (pending.empty()) {
+    return {};
+  }
+  if (metric == GreedyMetric::kFcfs) {
+    // The paper's framework runs every policy through the same greedy loop (Alg. 1): FCFS is
+    // the arrival-order metric with the same skip-infeasible allocation as the others.
+    return AllocateInOrder(pending, blocks, FcfsOrder(pending));
+  }
+
+  CapacitySnapshot snapshot(blocks);
+  std::vector<double> scores(pending.size(), 0.0);
+  switch (metric) {
+    case GreedyMetric::kDpf:
+      for (size_t i = 0; i < pending.size(); ++i) {
+        scores[i] = DpfEfficiency(pending[i], snapshot);
+      }
+      break;
+    case GreedyMetric::kArea:
+      for (size_t i = 0; i < pending.size(); ++i) {
+        scores[i] = AreaEfficiency(pending[i], snapshot);
+      }
+      break;
+    case GreedyMetric::kDpack: {
+      std::vector<size_t> best_alpha = ComputeBestAlphas(pending, snapshot, eta);
+      for (size_t i = 0; i < pending.size(); ++i) {
+        scores[i] = DpackEfficiency(pending[i], snapshot, best_alpha);
+      }
+      break;
+    }
+    case GreedyMetric::kFcfs:
+      break;  // Handled above.
+  }
+  return AllocateInOrder(pending, blocks, OrderByScoreDesc(pending, scores));
+}
+
+// --- TaskCacheMap --------------------------------------------------------------------------
+
+ScheduleContext::TaskCacheMap::TaskCacheMap() { slots_.resize(1024); }
+
+size_t ScheduleContext::TaskCacheMap::Probe(TaskId id) const {
+  uint64_t h = static_cast<uint64_t>(id) * 0x9E3779B97F4A7C15ULL;
+  h ^= h >> 32;
+  return static_cast<size_t>(h) & (slots_.size() - 1);
+}
+
+size_t ScheduleContext::TaskCacheMap::Find(TaskId id) const {
+  size_t i = Probe(id);
+  while (slots_[i].used) {
+    if (slots_[i].id == id) {
+      return i;
+    }
+    i = (i + 1) & (slots_.size() - 1);
+  }
+  return kNpos;
+}
+
+size_t ScheduleContext::TaskCacheMap::FindOrInsert(TaskId id) {
+  size_t i = Probe(id);
+  while (slots_[i].used) {
+    if (slots_[i].id == id) {
+      return i;
+    }
+    i = (i + 1) & (slots_.size() - 1);
+  }
+  DPACK_CHECK_MSG(2 * (size_ + 1) <= slots_.size(), "TaskCacheMap insert without Reserve");
+  slots_[i].used = true;
+  slots_[i].id = id;
+  slots_[i].value = TaskCache{};
+  ++size_;
+  return i;
+}
+
+bool ScheduleContext::TaskCacheMap::Reserve(size_t additional) {
+  size_t needed = 2 * (size_ + additional + 1);
+  if (needed <= slots_.size()) {
+    return false;
+  }
+  size_t capacity = slots_.size();
+  while (capacity < needed) {
+    capacity *= 2;
+  }
+  Rehash(capacity);
+  return true;
+}
+
+void ScheduleContext::TaskCacheMap::Rehash(size_t new_capacity) {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(new_capacity, Slot{});
+  for (Slot& slot : old) {
+    if (slot.used) {
+      size_t i = Probe(slot.id);
+      while (slots_[i].used) {
+        i = (i + 1) & (slots_.size() - 1);
+      }
+      slots_[i] = std::move(slot);
+    }
+  }
+}
+
+void ScheduleContext::TaskCacheMap::PurgeNotSeen(uint64_t cycle) {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(old.size(), Slot{});
+  size_ = 0;
+  for (Slot& slot : old) {
+    if (slot.used && slot.value.last_seen == cycle) {
+      size_t i = Probe(slot.id);
+      while (slots_[i].used) {
+        i = (i + 1) & (slots_.size() - 1);
+      }
+      slots_[i] = std::move(slot);
+      ++size_;
+    }
+  }
+}
+
+void ScheduleContext::TaskCacheMap::Clear() {
+  slots_.assign(slots_.size(), Slot{});
+  size_ = 0;
+}
+
+// --- ScheduleContext -----------------------------------------------------------------------
+
+ScheduleContext::ScheduleContext(GreedyMetric metric, double eta)
+    : metric_(metric), eta_(eta) {
+  DPACK_CHECK(eta_ > 0.0);
+}
+
+bool ScheduleContext::EntryBefore(const HeapEntry& a, const HeapEntry& b) {
+  if (a.score != b.score) {
+    return a.score > b.score;
+  }
+  if (a.arrival != b.arrival) {
+    return a.arrival < b.arrival;
+  }
+  return a.id < b.id;
+}
+
+void ScheduleContext::Invalidate() {
+  snapshot_.reset();
+  last_version_.clear();
+  version_now_.clear();
+  dirty_.clear();
+  member_sig_.clear();
+  best_alpha_.clear();
+  sig_scratch_.clear();
+  cache_.Clear();
+  heap_.clear();
+  fresh_.clear();
+  merged_.clear();
+  order_.clear();
+  slot_of_index_.clear();
+  requesters_.clear();
+  slots_moved_ = false;
+  cycle_stamp_ = 0;
+}
+
+void ScheduleContext::SyncBlocks(const BlockManager& blocks) {
+  if (!snapshot_.has_value()) {
+    snapshot_.emplace(blocks.grid());
+  }
+  size_t count = blocks.block_count();
+  size_t known = last_version_.size();
+  DPACK_CHECK_MSG(count >= known, "blocks disappeared: use a fresh context per manager");
+  dirty_.assign(count, false);
+  for (size_t j = known; j < count; ++j) {
+    const PrivacyBlock& b = blocks.block(static_cast<BlockId>(j));
+    snapshot_->Append(b.AvailableCurve(), b.capacity());
+    last_version_.push_back(b.version());
+    member_sig_.push_back(kSigSeed);
+    best_alpha_.push_back(0);
+    requesters_.emplace_back();
+    dirty_[j] = true;
+  }
+  for (size_t j = 0; j < known; ++j) {
+    const PrivacyBlock& b = blocks.block(static_cast<BlockId>(j));
+    if (b.version() != last_version_[j]) {
+      last_version_[j] = b.version();
+      snapshot_->RefreshAvailable(static_cast<BlockId>(j), b.AvailableCurve());
+      dirty_[j] = true;
+      ++stats_.blocks_refreshed;
+    }
+  }
+  // Mirror the versions contiguously for the allocation walk's memo sums (the walk reads
+  // them once per (task, block) reference; commits made by the walk update the mirror).
+  version_now_.resize(count);
+  for (size_t j = 0; j < count; ++j) {
+    version_now_[j] = last_version_[j];
+  }
+}
+
+void ScheduleContext::MarkMembershipDirty(std::span<const Task> pending) {
+  sig_scratch_.assign(member_sig_.size(), kSigSeed);
+  for (const Task& task : pending) {
+    for (BlockId j : task.blocks) {
+      DPACK_CHECK(j >= 0 && static_cast<size_t>(j) < sig_scratch_.size());
+      sig_scratch_[static_cast<size_t>(j)] =
+          SigMix(sig_scratch_[static_cast<size_t>(j)], static_cast<uint64_t>(task.id));
+    }
+  }
+  for (size_t j = 0; j < member_sig_.size(); ++j) {
+    if (sig_scratch_[j] != member_sig_[j]) {
+      member_sig_[j] = sig_scratch_[j];
+      dirty_[j] = true;
+    }
+  }
+}
+
+void ScheduleContext::RecomputeDirtyBestAlphas(std::span<const Task> pending) {
+  bool any_dirty = false;
+  for (size_t j = 0; j < dirty_.size(); ++j) {
+    if (dirty_[j]) {
+      requesters_[j].clear();
+      any_dirty = true;
+    }
+  }
+  if (!any_dirty) {
+    return;
+  }
+  for (size_t i = 0; i < pending.size(); ++i) {
+    for (BlockId j : pending[i].blocks) {
+      if (dirty_[static_cast<size_t>(j)]) {
+        requesters_[static_cast<size_t>(j)].push_back(i);
+      }
+    }
+  }
+  for (size_t j = 0; j < dirty_.size(); ++j) {
+    if (!dirty_[j]) {
+      continue;
+    }
+    best_alpha_[j] = BestAlphaForBlock(pending, requesters_[j],
+                                       snapshot_->available(static_cast<BlockId>(j)), eta_);
+    ++stats_.best_alpha_recomputes;
+  }
+}
+
+double ScheduleContext::ScoreTask(const Task& task) const {
+  switch (metric_) {
+    case GreedyMetric::kDpf:
+      return DpfEfficiency(task, *snapshot_);
+    case GreedyMetric::kArea:
+      return AreaEfficiency(task, *snapshot_);
+    case GreedyMetric::kDpack:
+      return DpackEfficiency(task, *snapshot_, best_alpha_);
+    case GreedyMetric::kFcfs:
+      break;  // FCFS never scores.
+  }
+  DPACK_CHECK_MSG(false, "unscored metric");
+  return 0.0;
+}
+
+void ScheduleContext::PopHeapIntoOrder() {
+  // Pop = in-order merge of the surviving sorted entries (heap_) with this cycle's rescored
+  // ones (fresh_), both under EntryBefore — exactly the reference sort's total order. Stale
+  // heap entries are detected here, at pop time: their generation was superseded by a
+  // rescore, or their task left the queue (granted or evicted, last_seen stale).
+  std::sort(fresh_.begin(), fresh_.end(), EntryBefore);
+  merged_.clear();
+  order_.clear();
+  size_t hi = 0;
+  size_t fi = 0;
+  while (hi < heap_.size() || fi < fresh_.size()) {
+    bool take_heap;
+    if (hi >= heap_.size()) {
+      take_heap = false;
+    } else if (fi >= fresh_.size()) {
+      take_heap = true;
+    } else {
+      take_heap = EntryBefore(heap_[hi], fresh_[fi]);
+    }
+    if (take_heap) {
+      HeapEntry entry = heap_[hi++];
+      if (slots_moved_) {
+        size_t slot = cache_.Find(entry.id);
+        if (slot == TaskCacheMap::kNpos) {
+          continue;  // Stale: purged.
+        }
+        entry.slot = slot;
+      }
+      const TaskCache& cached = cache_.at(entry.slot);
+      if (cached.last_seen != cycle_stamp_ || cached.generation != entry.generation) {
+        continue;  // Stale: superseded, granted, or evicted.
+      }
+      order_.push_back(cached.index);
+      merged_.push_back(entry);
+    } else {
+      const HeapEntry& entry = fresh_[fi++];
+      order_.push_back(cache_.at(entry.slot).index);
+      merged_.push_back(entry);
+    }
+  }
+  heap_.swap(merged_);
+  fresh_.clear();
+  slots_moved_ = false;
+}
+
+std::vector<size_t> ScheduleContext::AllocateWithMemos(std::span<const Task> pending,
+                                                       BlockManager& blocks) {
+  std::vector<size_t> granted;
+  for (size_t idx : order_) {
+    const Task& task = pending[idx];
+    if (task.blocks.empty()) {
+      continue;  // Unresolved block request.
+    }
+    TaskCache& cached = cache_.at(slot_of_index_[idx]);
+    // Version sums are monotone (each version only grows), so an unchanged sum proves every
+    // requested block unchanged since this task's last rejection — still infeasible, skip
+    // the per-order filter scans. Commits earlier in this walk bump versions, so the memo
+    // can never mask newly-created contention.
+    uint64_t vsum = 0;
+    for (BlockId j : task.blocks) {
+      vsum += version_now_[static_cast<size_t>(j)];
+    }
+    if (cached.reject_vsum == vsum) {
+      continue;
+    }
+    bool can_run = true;
+    for (BlockId j : task.blocks) {
+      if (!blocks.block(j).CanAccept(task.demand)) {
+        can_run = false;
+        break;
+      }
+    }
+    if (!can_run) {
+      cached.reject_vsum = vsum;
+      continue;
+    }
+    for (BlockId j : task.blocks) {
+      blocks.block(j).Commit(task.demand);
+      version_now_[static_cast<size_t>(j)] = blocks.block(j).version();
+    }
+    cached.last_seen = 0;  // The grant removes the task from the queue.
+    granted.push_back(idx);
+  }
+  return granted;
+}
+
+std::vector<size_t> ScheduleContext::ScheduleBatch(std::span<const Task> pending,
+                                                   BlockManager& blocks) {
+  if (pending.empty()) {
+    return {};
+  }
+  ++stats_.cycles;
+  if (metric_ == GreedyMetric::kFcfs) {
+    // Arrival order needs no scores, hence no cache: the engine is a pass-through.
+    return AllocateInOrder(pending, blocks, FcfsOrder(pending));
+  }
+
+  ScheduleContextStats stats_at_entry = stats_;
+  uint64_t previous_cycle = cycle_stamp_;
+  ++cycle_stamp_;
+
+  SyncBlocks(blocks);
+  if (metric_ == GreedyMetric::kDpack) {
+    MarkMembershipDirty(pending);
+    RecomputeDirtyBestAlphas(pending);
+  }
+
+  // Reserving up front means no slot moves mid-cycle: slot indices collected by the score
+  // pass stay valid through the pop and the allocation walk.
+  slots_moved_ |= cache_.Reserve(pending.size());
+
+  // Score pass: one cache lookup per task decides between reuse and rescore; rescored tasks
+  // contribute a fresh entry under a new generation, lazily superseding their old one.
+  slot_of_index_.resize(pending.size());
+  bool duplicate_ids = false;
+  for (size_t i = 0; i < pending.size(); ++i) {
+    const Task& task = pending[i];
+    size_t slot = cache_.FindOrInsert(task.id);
+    slot_of_index_[i] = slot;
+    TaskCache& cached = cache_.at(slot);
+    if (cached.last_seen == cycle_stamp_) {
+      duplicate_ids = true;
+      break;
+    }
+    // A cache entry is only trustworthy if the task was pending in the immediately
+    // preceding cycle (last_seen tracks the protocol's continuity) and its block list is
+    // unchanged (the vector buffer travels with the task on moves; reallocation on late
+    // resolution changes the pointer).
+    bool rescore = cached.last_seen != previous_cycle ||
+                   cached.blocks_ptr != task.blocks.data() ||
+                   cached.blocks_len != task.blocks.size();
+    if (rescore) {
+      cached.reject_vsum = kNoReject;  // New or re-resolved task: no feasibility memo.
+    } else if (metric_ != GreedyMetric::kDpf) {
+      // DPF scores depend only on total capacities, which never change for a fixed block
+      // list; Area and DPack scores must track the dirty blocks the task touches.
+      for (BlockId j : task.blocks) {
+        if (dirty_[static_cast<size_t>(j)]) {
+          rescore = true;
+          break;
+        }
+      }
+    }
+    cached.last_seen = cycle_stamp_;
+    cached.index = i;
+    if (!rescore) {
+      ++stats_.tasks_reused;
+      continue;
+    }
+    cached.score = ScoreTask(task);
+    cached.generation = next_generation_++;
+    cached.blocks_ptr = task.blocks.data();
+    cached.blocks_len = task.blocks.size();
+    fresh_.push_back({cached.score, task.arrival_time, task.id, cached.generation, slot});
+    ++stats_.tasks_rescored;
+  }
+  if (duplicate_ids) {
+    // Id-keyed caches cannot reproduce the recompute path's tie-breaking between tasks that
+    // share an id; recompute this batch from scratch and start the cache over. The partial
+    // pass's work is discarded, so its counters are too.
+    Invalidate();
+    stats_ = stats_at_entry;
+    ++stats_.full_recomputes;
+    return RecomputeScheduleBatch(metric_, eta_, pending, blocks);
+  }
+
+  PopHeapIntoOrder();
+  std::vector<size_t> granted = AllocateWithMemos(pending, blocks);
+
+  // Bound cache growth: once dead entries (granted or evicted tasks) dominate — long runs
+  // with churn — rebuild keeping only the live ones. Heap entries re-resolve lazily.
+  if (cache_.size() > 2 * pending.size() + 64) {
+    cache_.PurgeNotSeen(cycle_stamp_);
+    slots_moved_ = true;
+  }
+  return granted;
+}
+
+}  // namespace dpack

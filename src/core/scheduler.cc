@@ -1,72 +1,17 @@
 #include "src/core/scheduler.h"
 
 #include <algorithm>
-#include <limits>
-#include <numeric>
 
 #include "src/common/check.h"
-#include "src/core/efficiency.h"
 
 namespace dpack {
-
-namespace {
-
-// Grants tasks in `order` whose demands all requested blocks accept, committing as it goes.
-// With `head_of_line` set (FCFS semantics), allocation stops at the first task that cannot
-// run: a first-come-first-serve queue does not backfill past its head, which is why FCFS
-// does not prioritize low-demand tasks under contention (§6.3).
-std::vector<size_t> AllocateInOrder(std::span<const Task> pending, BlockManager& blocks,
-                                    std::span<const size_t> order, bool head_of_line = false) {
-  std::vector<size_t> granted;
-  for (size_t idx : order) {
-    const Task& task = pending[idx];
-    if (task.blocks.empty()) {
-      continue;  // Unresolved block request (no blocks in the system yet).
-    }
-    bool can_run = true;
-    for (BlockId j : task.blocks) {
-      if (!blocks.block(j).CanAccept(task.demand)) {
-        can_run = false;
-        break;
-      }
-    }
-    if (!can_run) {
-      if (head_of_line) {
-        break;
-      }
-      continue;
-    }
-    for (BlockId j : task.blocks) {
-      blocks.block(j).Commit(task.demand);
-    }
-    granted.push_back(idx);
-  }
-  return granted;
-}
-
-// Sorts task indices by score descending, breaking ties by arrival time then id so results
-// are deterministic.
-std::vector<size_t> OrderByScoreDesc(std::span<const Task> pending,
-                                     std::span<const double> scores) {
-  std::vector<size_t> order(pending.size());
-  std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-    if (scores[a] != scores[b]) {
-      return scores[a] > scores[b];
-    }
-    if (pending[a].arrival_time != pending[b].arrival_time) {
-      return pending[a].arrival_time < pending[b].arrival_time;
-    }
-    return pending[a].id < pending[b].id;
-  });
-  return order;
-}
-
-}  // namespace
 
 GreedyScheduler::GreedyScheduler(GreedyMetric metric, GreedySchedulerOptions options)
     : metric_(metric), options_(options) {
   DPACK_CHECK(options_.eta > 0.0);
+  if (options_.incremental) {
+    context_ = std::make_unique<ScheduleContext>(metric_, options_.eta);
+  }
 }
 
 std::string GreedyScheduler::name() const {
@@ -85,47 +30,10 @@ std::string GreedyScheduler::name() const {
 
 std::vector<size_t> GreedyScheduler::ScheduleBatch(std::span<const Task> pending,
                                                    BlockManager& blocks) {
-  if (pending.empty()) {
-    return {};
+  if (context_ != nullptr) {
+    return context_->ScheduleBatch(pending, blocks);
   }
-  if (metric_ == GreedyMetric::kFcfs) {
-    std::vector<size_t> order(pending.size());
-    std::iota(order.begin(), order.end(), 0);
-    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-      if (pending[a].arrival_time != pending[b].arrival_time) {
-        return pending[a].arrival_time < pending[b].arrival_time;
-      }
-      return pending[a].id < pending[b].id;
-    });
-    // The paper's framework runs every policy through the same greedy loop (Alg. 1): FCFS is
-    // the arrival-order metric with the same skip-infeasible allocation as the others.
-    return AllocateInOrder(pending, blocks, order);
-  }
-
-  CapacitySnapshot snapshot(blocks);
-  std::vector<double> scores(pending.size(), 0.0);
-  switch (metric_) {
-    case GreedyMetric::kDpf:
-      for (size_t i = 0; i < pending.size(); ++i) {
-        scores[i] = DpfEfficiency(pending[i], snapshot);
-      }
-      break;
-    case GreedyMetric::kArea:
-      for (size_t i = 0; i < pending.size(); ++i) {
-        scores[i] = AreaEfficiency(pending[i], snapshot);
-      }
-      break;
-    case GreedyMetric::kDpack: {
-      std::vector<size_t> best_alpha = ComputeBestAlphas(pending, snapshot, options_.eta);
-      for (size_t i = 0; i < pending.size(); ++i) {
-        scores[i] = DpackEfficiency(pending[i], snapshot, best_alpha);
-      }
-      break;
-    }
-    case GreedyMetric::kFcfs:
-      break;  // Handled above.
-  }
-  return AllocateInOrder(pending, blocks, OrderByScoreDesc(pending, scores));
+  return RecomputeScheduleBatch(metric_, options_.eta, pending, blocks);
 }
 
 OptimalScheduler::OptimalScheduler(PkOptions options) : options_(options) {}
@@ -135,19 +43,23 @@ std::vector<size_t> OptimalScheduler::ScheduleBatch(std::span<const Task> pendin
   if (pending.empty()) {
     return {};
   }
-  CapacitySnapshot snapshot(blocks);
-  size_t num_orders = snapshot.grid()->size();
-  PkInstance instance;
-  instance.num_blocks = snapshot.block_count();
-  instance.num_orders = num_orders;
-  instance.capacity.resize(instance.num_blocks * num_orders);
-  for (size_t j = 0; j < instance.num_blocks; ++j) {
+  size_t num_blocks = blocks.block_count();
+  size_t num_orders = blocks.grid()->size();
+  instance_.tasks.clear();
+  if (instance_.num_blocks != num_blocks || instance_.num_orders != num_orders) {
+    instance_.num_blocks = num_blocks;
+    instance_.num_orders = num_orders;
+    instance_.capacity.resize(num_blocks * num_orders);
+  }
+  // Refill the available capacity in place (consumption and unlocking move every cycle).
+  for (size_t j = 0; j < num_blocks; ++j) {
+    const PrivacyBlock& block = blocks.block(static_cast<BlockId>(j));
     for (size_t a = 0; a < num_orders; ++a) {
-      instance.capacity[j * num_orders + a] = snapshot.available(static_cast<BlockId>(j)).epsilon(a);
+      instance_.capacity[j * num_orders + a] = block.AvailableAt(a);
     }
   }
   // Map batch tasks (skipping unresolved ones) to instance tasks.
-  std::vector<size_t> batch_index;
+  batch_index_.clear();
   for (size_t i = 0; i < pending.size(); ++i) {
     if (pending[i].blocks.empty()) {
       continue;
@@ -159,13 +71,13 @@ std::vector<size_t> OptimalScheduler::ScheduleBatch(std::span<const Task> pendin
       pk.blocks.push_back(static_cast<size_t>(j));
     }
     pk.demand = pending[i].demand.epsilons();
-    instance.tasks.push_back(std::move(pk));
-    batch_index.push_back(i);
+    instance_.tasks.push_back(std::move(pk));
+    batch_index_.push_back(i);
   }
-  if (instance.tasks.empty()) {
+  if (instance_.tasks.empty()) {
     return {};
   }
-  PkResult result = SolvePrivacyKnapsackExact(instance, options_);
+  PkResult result = SolvePrivacyKnapsackExact(instance_, options_);
   last_solve_optimal_ = result.optimal;
   last_nodes_explored_ = result.nodes_explored;
 
@@ -174,7 +86,7 @@ std::vector<size_t> OptimalScheduler::ScheduleBatch(std::span<const Task> pendin
   std::vector<size_t> granted;
   granted.reserve(result.selected.size());
   for (size_t k : result.selected) {
-    size_t i = batch_index[k];
+    size_t i = batch_index_[k];
     const Task& task = pending[i];
     for (BlockId j : task.blocks) {
       DPACK_CHECK_MSG(blocks.block(j).CanAccept(task.demand),

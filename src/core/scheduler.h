@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "src/block/block_manager.h"
+#include "src/core/schedule_context.h"
 #include "src/core/task.h"
 #include "src/knapsack/privacy_knapsack.h"
 
@@ -33,20 +34,19 @@ class Scheduler {
                                             BlockManager& blocks) = 0;
 };
 
-// Greedy allocation shared by DPF / area / DPack / FCFS: score every pending task, sort by
+// Greedy allocation shared by DPF / area / DPack / FCFS: score every pending task, order by
 // score descending (ties: earlier arrival, then lower id), then walk the order granting every
 // task whose full demand the filters of all its requested blocks accept (CANRUN of Alg. 1).
-enum class GreedyMetric {
-  kDpf,    // Inverse dominant share (fairness-oriented, §3.1).
-  kArea,   // Eq. 4: all-order demand area (block-aware, not best-alpha-aware).
-  kDpack,  // Eq. 6: demand at each block's best alpha (Alg. 1).
-  kFcfs,   // Arrival order.
-};
-
+// `GreedyMetric` itself is declared in schedule_context.h.
 struct GreedySchedulerOptions {
   // DPack's approximation parameter eta (> 0): best-alpha subproblems are solved to
   // (2/3) eta (Prop. 5 uses the 1/2 + eta bound).
   double eta = 0.05;
+  // When set (the default) the scheduler runs on the incremental engine (ScheduleContext):
+  // scoring state persists across ScheduleBatch calls and only tasks touching changed blocks
+  // are rescored. When cleared, every batch is recomputed from scratch (the reference path —
+  // identical grants, used by the differential tests and as the benchmarks' baseline).
+  bool incremental = true;
 };
 
 class GreedyScheduler : public Scheduler {
@@ -59,9 +59,14 @@ class GreedyScheduler : public Scheduler {
 
   GreedyMetric metric() const { return metric_; }
 
+  // The incremental engine, for cache control and stats. Non-null iff options.incremental.
+  ScheduleContext* context() { return context_.get(); }
+  const ScheduleContext* context() const { return context_.get(); }
+
  private:
   GreedyMetric metric_;
   GreedySchedulerOptions options_;
+  std::unique_ptr<ScheduleContext> context_;
 };
 
 // The Optimal baseline: maps the batch to a privacy-knapsack instance over the blocks'
@@ -81,6 +86,11 @@ class OptimalScheduler : public Scheduler {
 
  private:
   PkOptions options_;
+  // Knapsack instance reused across batches: the blocks×orders capacity matrix is resized
+  // only when the system grows, avoiding a per-cycle reallocation (values are refilled each
+  // cycle — consumption and unlocking change them).
+  PkInstance instance_;
+  std::vector<size_t> batch_index_;
   bool last_solve_optimal_ = true;
   uint64_t last_nodes_explored_ = 0;
 };

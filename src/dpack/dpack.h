@@ -2,6 +2,33 @@
 //
 // Link against the CMake target `dpack::dpack` and include this header to use the scheduler,
 // RDP accounting, workload generators, simulator, and orchestrator.
+//
+// Scheduling engine architecture
+// ------------------------------
+// Batch scheduling runs on an incremental engine (src/core/schedule_context.h) layered over
+// versioned block state:
+//
+//   - `PrivacyBlock::version()` is a monotonic counter bumped on every state change that
+//     can alter the block's available capacity: each `Commit` and each effective unlock
+//     increase. Invariant: equal versions observed at two points in time imply bit-identical
+//     `AvailableCurve()` results.
+//   - `BlockManager::epoch()` is a monotonic counter bumped on every block arrival.
+//     Invariant: unchanged epoch plus unchanged per-block versions imply the manager's
+//     whole capacity state is bit-identical. `Clone()` preserves both, so observations made
+//     against the original remain valid against the clone.
+//   - `ScheduleContext` (owned by `GreedyScheduler`, persistent across cycles inside
+//     `OnlineScheduler`, the sim driver, and the orchestrator) uses those counters to
+//     detect exactly which blocks changed between scheduling cycles, rescoring only the
+//     tasks that touch them, keeping scored entries in a lazily-revalidated heap, and
+//     skipping CANRUN filter scans for tasks whose blocks provably did not change since
+//     their last rejection. Grants are identical to the recompute-from-scratch reference
+//     path (`RecomputeScheduleBatch`), which remains available via
+//     `GreedySchedulerOptions::incremental = false` and is pinned against the engine by
+//     tests/core/incremental_equivalence_test.cc.
+//
+// Consumers adding new block mutations must route them through `Commit` /
+// `SetUnlockedFraction` / `AddBlock*` (or bump the counters equivalently); a mutation that
+// bypasses the version counters silently breaks every incremental consumer.
 
 #ifndef SRC_DPACK_DPACK_H_
 #define SRC_DPACK_DPACK_H_
@@ -18,6 +45,7 @@
 #include "src/core/fairness.h"
 #include "src/core/metrics.h"
 #include "src/core/online_scheduler.h"
+#include "src/core/schedule_context.h"
 #include "src/core/scheduler.h"
 #include "src/core/task.h"
 #include "src/knapsack/privacy_knapsack.h"

@@ -60,6 +60,9 @@ OrchestratorRunResult ClusterOrchestrator::RunOfflinePass(std::vector<Task> task
   OrchestratorRunResult result;
   result.metrics = online.metrics();
   result.metrics.RecordCycleRuntime(pass_seconds);  // Full pass incl. store traffic.
+  if (const ScheduleContextStats* stats = online.context_stats()) {
+    result.scheduler_stats = *stats;
+  }
   result.store_operations = store.operations();
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - run_start).count();
@@ -166,6 +169,9 @@ OrchestratorRunResult ClusterOrchestrator::RunOnline(std::vector<Task> tasks) {
 
   OrchestratorRunResult result;
   result.metrics = online.metrics();
+  if (const ScheduleContextStats* stats = online.context_stats()) {
+    result.scheduler_stats = *stats;
+  }
   result.store_operations = store.operations();
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - run_start).count();

@@ -48,6 +48,10 @@ struct OrchestratorRunResult {
   uint64_t store_operations = 0;
   double wall_seconds = 0.0;
   size_t cycles = 0;
+  // Incremental-engine counters of the run's scheduler (zeros when the scheduler does not
+  // run on a ScheduleContext). The context is created once with the scheduler and survives
+  // every cycle of the run, so these reflect the whole run's cache behavior.
+  ScheduleContextStats scheduler_stats;
 };
 
 class ClusterOrchestrator {

@@ -68,6 +68,9 @@ SimResult RunOnlineSimulation(std::unique_ptr<Scheduler> scheduler, std::vector<
 
   SimResult result;
   result.metrics = online.metrics();
+  if (const ScheduleContextStats* stats = online.context_stats()) {
+    result.scheduler_stats = *stats;
+  }
   result.blocks_created = blocks.block_count();
   result.end_time = end_time;
   result.cycles_run = cycles;

@@ -41,6 +41,10 @@ struct SimResult {
   double end_time = 0.0;
   size_t cycles_run = 0;
   size_t pending_at_end = 0;
+  // Incremental-engine counters of the run's scheduler (zeros when the scheduler does not
+  // run on a ScheduleContext). The scheduler instance persists across every cycle of the
+  // simulation, so the context's caches survive between batches.
+  ScheduleContextStats scheduler_stats;
 };
 
 // Runs one online simulation of `scheduler` over `tasks` (arrival times set by the workload

@@ -61,6 +61,44 @@ TEST(BlockManagerTest, UnlockHonorsBlockArrivalTime) {
   EXPECT_DOUBLE_EQ(manager.block(0).unlocked_fraction(), 0.75);
 }
 
+TEST(BlockManagerTest, EpochAdvancesOnEveryArrival) {
+  BlockManager manager(Grid(), 10.0, 1e-7);
+  EXPECT_EQ(manager.epoch(), 0u);
+  manager.AddBlock(0.0);
+  EXPECT_EQ(manager.epoch(), 1u);
+  manager.AddBlockWithCapacity(BlockCapacityCurve(Grid(), 10.0, 1e-7), 1.0);
+  EXPECT_EQ(manager.epoch(), 2u);
+}
+
+TEST(BlockManagerTest, UpdateUnlocksBumpsVersionsOnlyOnEffectiveChange) {
+  BlockManager manager(Grid(), 10.0, 1e-7);
+  manager.AddBlock(0.0);
+  uint64_t v0 = manager.block(0).version();
+  manager.UpdateUnlocks(0.0, 1.0, 10);  // 0 -> 0.1: effective.
+  uint64_t v1 = manager.block(0).version();
+  EXPECT_GT(v1, v0);
+  manager.UpdateUnlocks(0.0, 1.0, 10);  // Same fraction: no change.
+  EXPECT_EQ(manager.block(0).version(), v1);
+  manager.UpdateUnlocks(5.0, 1.0, 10);  // 0.1 -> 0.6: effective.
+  EXPECT_GT(manager.block(0).version(), v1);
+}
+
+TEST(BlockManagerTest, ClonePreservesEpochAndVersions) {
+  BlockManager manager(Grid(), 10.0, 1e-7);
+  manager.AddBlock(0.0, /*unlocked=*/true);
+  manager.AddBlock(1.0);
+  manager.UpdateUnlocks(3.0, 1.0, 10);
+  manager.block(0).Commit(BlockCapacityCurve(Grid(), 10.0, 1e-7).Scaled(0.1));
+
+  BlockManager clone = manager.Clone();
+  EXPECT_EQ(clone.epoch(), manager.epoch());
+  for (BlockId j = 0; j < 2; ++j) {
+    EXPECT_EQ(clone.block(j).version(), manager.block(j).version());
+    EXPECT_DOUBLE_EQ(clone.block(j).unlocked_fraction(),
+                     manager.block(j).unlocked_fraction());
+  }
+}
+
 TEST(BlockManagerTest, LargerPeriodUnlocksMoreSlowly) {
   // Just before t = 5: with period T = 5 the block has witnessed one step; with T = 1 it
   // has witnessed five.

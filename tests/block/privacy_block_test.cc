@@ -32,6 +32,21 @@ TEST(PrivacyBlockTest, AcceptsWithinCapacityAtSomeOrder) {
   EXPECT_FALSE(block.CanAccept(FlatDemand(11.0)));
 }
 
+TEST(PrivacyBlockTest, VersionTracksEffectiveStateChanges) {
+  PrivacyBlock block(0, Grid(), 10.0, 1e-7, 0.0, /*initial_unlocked=*/0.0);
+  EXPECT_EQ(block.version(), 0u);
+  block.SetUnlockedFraction(0.5);
+  EXPECT_EQ(block.version(), 1u);
+  block.SetUnlockedFraction(0.5);  // No effective change: version stable.
+  EXPECT_EQ(block.version(), 1u);
+  block.SetUnlockedFraction(0.2);  // Stale (monotone unlocking): ignored entirely.
+  EXPECT_EQ(block.version(), 1u);
+  block.Commit(FlatDemand(1.0));
+  EXPECT_EQ(block.version(), 2u);
+  block.Commit(FlatDemand(1.0));
+  EXPECT_EQ(block.version(), 3u);
+}
+
 TEST(PrivacyBlockTest, CommitAccumulatesAndDepletes) {
   PrivacyBlock block(0, Grid(), 10.0, 1e-7, 0.0);
   RdpCurve demand = FlatDemand(4.0);

@@ -69,6 +69,56 @@ TEST_F(SchedulerTest, FcfsUsesAlgOneLoopAndSkipsInfeasible) {
   EXPECT_EQ(tasks[granted[1]].id, 3);
 }
 
+TEST_F(SchedulerTest, FcfsNeverBlocksOnQueueHead) {
+  // Pinned semantics (Alg. 1, "if CANRUN then run"): FCFS walks arrival order and *skips*
+  // infeasible tasks rather than stopping at the queue head — head-of-line blocking is not
+  // the implemented behavior, on either engine path. A stuck oversized head must not starve
+  // feasible later arrivals on a different block.
+  std::vector<Task> tasks;
+  Task stuck_head = CapacityFractionTask(1, {0}, 2.0);  // Never fits.
+  stuck_head.arrival_time = 0.0;
+  Task later_a = CapacityFractionTask(2, {1}, 0.3);
+  later_a.arrival_time = 1.0;
+  Task later_b = CapacityFractionTask(3, {0}, 0.3);
+  later_b.arrival_time = 2.0;
+  tasks = {stuck_head, later_a, later_b};
+  for (bool incremental : {true, false}) {
+    BlockManager fresh(Grid(), 10.0, 1e-7);
+    fresh.AddBlock(0.0, true);
+    fresh.AddBlock(0.0, true);
+    GreedyScheduler fcfs(GreedyMetric::kFcfs,
+                         GreedySchedulerOptions{.incremental = incremental});
+    std::vector<size_t> granted = fcfs.ScheduleBatch(tasks, fresh);
+    ASSERT_EQ(granted.size(), 2u);
+    EXPECT_EQ(tasks[granted[0]].id, 2);
+    EXPECT_EQ(tasks[granted[1]].id, 3);
+  }
+}
+
+TEST_F(SchedulerTest, RecomputeAndIncrementalGrantIdentically) {
+  Rng rng(21);
+  std::vector<Task> tasks;
+  for (int i = 0; i < 40; ++i) {
+    std::vector<BlockId> ids =
+        rng.Bernoulli(0.4) ? std::vector<BlockId>{0, 1}
+                           : std::vector<BlockId>{static_cast<BlockId>(rng.UniformInt(0, 1))};
+    tasks.push_back(CapacityFractionTask(i, std::move(ids), rng.Uniform(0.05, 0.4),
+                                         rng.Uniform(0.5, 3.0)));
+  }
+  for (GreedyMetric metric : {GreedyMetric::kDpack, GreedyMetric::kDpf, GreedyMetric::kArea,
+                              GreedyMetric::kFcfs}) {
+    BlockManager a(Grid(), 10.0, 1e-7);
+    BlockManager b(Grid(), 10.0, 1e-7);
+    for (int j = 0; j < 2; ++j) {
+      a.AddBlock(0.0, true);
+      b.AddBlock(0.0, true);
+    }
+    GreedyScheduler incremental(metric, GreedySchedulerOptions{.incremental = true});
+    GreedyScheduler recompute(metric, GreedySchedulerOptions{.incremental = false});
+    EXPECT_EQ(incremental.ScheduleBatch(tasks, a), recompute.ScheduleBatch(tasks, b));
+  }
+}
+
 TEST_F(SchedulerTest, WeightsSteerDpackTowardUtility) {
   // One heavy task that fills a block vs two light ones that also fill it: DPack must pick
   // the weighted side.
