@@ -103,13 +103,14 @@ void Run(Scale scale) {
 
 double SteadyStateMsPerCycle(GreedyMetric metric, bool incremental,
                              const std::vector<Task>& tasks, size_t num_blocks,
-                             size_t cycles) {
+                             size_t cycles, size_t num_shards = 1) {
   BlockManager blocks(AlphaGrid::Default(), kEpsG, kDeltaG);
   for (size_t b = 0; b < num_blocks; ++b) {
     blocks.AddBlock(0.0, /*unlocked=*/true);
   }
   RdpCurve tiny = SteadyStateTinyDemand();
-  GreedyScheduler scheduler(metric, GreedySchedulerOptions{.incremental = incremental});
+  GreedyScheduler scheduler(metric, GreedySchedulerOptions{.incremental = incremental,
+                                                           .num_shards = num_shards});
   scheduler.ScheduleBatch(tasks, blocks);  // Warm-up: measure the steady state.
   double seconds = 0.0;
   for (size_t c = 0; c < cycles; ++c) {
@@ -146,6 +147,40 @@ void RunIncrementalComparison(Scale scale) {
               std::to_string(num_tasks) + " pending tasks, 5% blocks dirty per cycle)");
 }
 
+// --- Shard-count sweep (sharded engine on the same steady-state regime) -------------------
+//
+// ShardedScheduleContext partitions blocks and tasks across N shards and rescoring across a
+// worker pool; grants are byte-identical to the single-shard engine (pinned by the sharded
+// differential suite). This sweep reports per-cycle cost per shard count and the speedup
+// over 1 shard. The parallel phases scale with the cores actually available — a single-core
+// host measures only the pool's coordination overhead.
+
+void RunShardSweep(Scale scale) {
+  double f = ScaleFactor(scale);
+  size_t num_tasks = static_cast<size_t>(1000.0 * f);
+  if (num_tasks == 0) {
+    return;
+  }
+  constexpr size_t kBlocks = kSteadyStateBlocks;
+  constexpr size_t kCycles = 20;
+  std::vector<Task> tasks = SteadyStateTasks(num_tasks);
+  CsvTable table({"metric", "shards_1_ms", "shards_2_ms", "shards_4_ms", "speedup_4x"});
+  for (GreedyMetric metric : {GreedyMetric::kDpack, GreedyMetric::kDpf, GreedyMetric::kArea}) {
+    double ms1 = SteadyStateMsPerCycle(metric, true, tasks, kBlocks, kCycles, 1);
+    double ms2 = SteadyStateMsPerCycle(metric, true, tasks, kBlocks, kCycles, 2);
+    double ms4 = SteadyStateMsPerCycle(metric, true, tasks, kBlocks, kCycles, 4);
+    GreedyScheduler named(metric);
+    table.NewRow()
+        .Add(named.name())
+        .Add(FormatDouble(ms1))
+        .Add(FormatDouble(ms2))
+        .Add(FormatDouble(ms4))
+        .Add(FormatDouble(ms1 / ms4));
+  }
+  table.Print("Fig. 5 addendum: per-cycle cost vs shard count, sharded engine (" +
+              std::to_string(num_tasks) + " pending tasks, 5% blocks dirty per cycle)");
+}
+
 }  // namespace
 }  // namespace dpack::bench
 
@@ -155,5 +190,6 @@ int main(int argc, char** argv) {
   Scale scale = ParseScale(argc, argv);
   Run(scale);
   RunIncrementalComparison(scale);
+  RunShardSweep(scale);
   return 0;
 }

@@ -105,5 +105,60 @@ void BM_AreaSteadyRecompute(benchmark::State& state) {
 }
 BENCHMARK(BM_AreaSteadyRecompute)->Arg(1000)->Unit(benchmark::kMillisecond);
 
+// --- Shard-count sweep (sharded engine, same steady-state regime) -------------------------
+//
+// Args: {pending tasks, num_shards}. num_shards = 1 runs the single-shard ScheduleContext;
+// higher counts run ShardedScheduleContext's worker pool (same grants by construction, see
+// the sharded differential suite). The speedup scales with the cores actually available —
+// on a single-core host the sweep only measures the pool's coordination overhead.
+
+void RunSteadyStateSharded(benchmark::State& state, GreedyMetric metric) {
+  std::vector<Task> tasks = SteadyStateTasks(static_cast<size_t>(state.range(0)));
+  size_t num_shards = static_cast<size_t>(state.range(1));
+  BlockManager blocks(AlphaGrid::Default(), kEpsG, kDeltaG);
+  for (size_t b = 0; b < kSteadyStateBlocks; ++b) {
+    blocks.AddBlock(0.0, /*unlocked=*/true);
+  }
+  RdpCurve tiny = SteadyStateTinyDemand();
+  GreedyScheduler scheduler(metric,
+                            GreedySchedulerOptions{.incremental = true,
+                                                   .num_shards = num_shards});
+  scheduler.ScheduleBatch(tasks, blocks);  // Warm the cache: steady state, not first cycle.
+  size_t dirty_cursor = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    blocks.block(static_cast<BlockId>(dirty_cursor++ % kSteadyStateBlocks)).Commit(tiny);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(scheduler.ScheduleBatch(tasks, blocks));
+  }
+}
+
+void BM_DpackSteadySharded(benchmark::State& state) {
+  RunSteadyStateSharded(state, GreedyMetric::kDpack);
+}
+BENCHMARK(BM_DpackSteadySharded)
+    ->Args({1000, 1})
+    ->Args({1000, 2})
+    ->Args({1000, 4})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DpfSteadySharded(benchmark::State& state) {
+  RunSteadyStateSharded(state, GreedyMetric::kDpf);
+}
+BENCHMARK(BM_DpfSteadySharded)
+    ->Args({1000, 1})
+    ->Args({1000, 2})
+    ->Args({1000, 4})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AreaSteadySharded(benchmark::State& state) {
+  RunSteadyStateSharded(state, GreedyMetric::kArea);
+}
+BENCHMARK(BM_AreaSteadySharded)
+    ->Args({1000, 1})
+    ->Args({1000, 2})
+    ->Args({1000, 4})
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 }  // namespace dpack::bench

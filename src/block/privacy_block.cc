@@ -73,7 +73,15 @@ void PrivacyBlock::Commit(const RdpCurve& demand) {
 
 bool PrivacyBlock::Exhausted() const {
   for (size_t i = 0; i < capacity_.size(); ++i) {
-    if (consumed_.epsilon(i) < capacity_.epsilon(i)) {
+    double cap = capacity_.epsilon(i);
+    if (cap <= 0.0) {
+      continue;  // Order unusable under the global guarantee.
+    }
+    // Same tolerance as CanAccept: remaining capacity within the admission slack cannot
+    // accept any meaningful demand, so a block consumed to within float noise of capacity
+    // is retired rather than kept alive forever.
+    double slack = 1e-9 * (1.0 + cap);
+    if (consumed_.epsilon(i) + slack < cap) {
       return false;
     }
   }

@@ -74,8 +74,9 @@ class PrivacyBlock {
   // Charges `demand` to the block. Requires CanAccept(demand).
   void Commit(const RdpCurve& demand);
 
-  // True when no order has strictly positive remaining *total* capacity; the block can never
-  // admit another positive demand and may be retired (§2.3).
+  // True when every usable order's remaining *total* capacity is within CanAccept's
+  // admission tolerance (1e-9 * (1 + cap)); the block can never admit another meaningful
+  // demand and may be retired (§2.3).
   bool Exhausted() const;
 
   std::string DebugString() const;

@@ -1,0 +1,41 @@
+#include "src/block/sharded_block_manager.h"
+
+#include "src/common/check.h"
+
+namespace dpack {
+
+ShardedBlockManager::ShardedBlockManager(BlockManager* blocks, size_t num_shards)
+    : blocks_(blocks) {
+  DPACK_CHECK(blocks_ != nullptr);
+  DPACK_CHECK_MSG(num_shards >= 1, "ShardedBlockManager needs at least one shard");
+  shards_.resize(num_shards);
+}
+
+size_t ShardedBlockManager::Sync() {
+  size_t count = blocks_->block_count();
+  DPACK_CHECK_MSG(count >= known_, "blocks disappeared: use a fresh partition per manager");
+  for (Shard& shard : shards_) {
+    shard.dirty = false;
+  }
+  size_t added = count - known_;
+  for (size_t g = known_; g < count; ++g) {
+    Shard& shard = shards_[ShardOf(static_cast<BlockId>(g))];
+    shard.members.push_back(static_cast<BlockId>(g));
+    ++shard.epoch;
+    shard.dirty = true;
+  }
+  known_ = count;
+  for (Shard& shard : shards_) {
+    uint64_t version = 0;
+    for (BlockId g : shard.members) {
+      version += blocks_->block(g).version();
+    }
+    if (version != shard.version) {
+      shard.version = version;
+      shard.dirty = true;
+    }
+  }
+  return added;
+}
+
+}  // namespace dpack

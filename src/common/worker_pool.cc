@@ -1,0 +1,87 @@
+#include "src/common/worker_pool.h"
+
+namespace dpack {
+
+WorkerPool::WorkerPool(size_t num_workers) {
+  workers_.reserve(num_workers);
+  for (size_t i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void WorkerPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) {
+    return;
+  }
+  if (workers_.empty()) {
+    for (size_t i = 0; i < n; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  // Drain stragglers from the previous generation: a worker that claimed nothing may still
+  // be between its (empty) claim loop and its bookkeeping; resetting `next_` under it would
+  // let it steal items from this generation with the old callable.
+  done_cv_.wait(lock, [&] { return executing_ == 0; });
+  fn_ = &fn;
+  n_ = n;
+  completed_ = 0;
+  next_.store(0, std::memory_order_relaxed);
+  ++generation_;
+  lock.unlock();
+  work_cv_.notify_all();
+
+  // The caller participates instead of blocking idle.
+  size_t mine = 0;
+  for (size_t i = next_.fetch_add(1, std::memory_order_relaxed); i < n;
+       i = next_.fetch_add(1, std::memory_order_relaxed)) {
+    fn(i);
+    ++mine;
+  }
+  lock.lock();
+  completed_ += mine;
+  done_cv_.wait(lock, [&] { return completed_ == n_; });
+  fn_ = nullptr;
+}
+
+void WorkerPool::WorkerLoop() {
+  uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+    if (stop_) {
+      return;
+    }
+    seen = generation_;
+    const std::function<void(size_t)>* fn = fn_;
+    size_t n = n_;
+    ++executing_;
+    lock.unlock();
+    size_t mine = 0;
+    for (size_t i = next_.fetch_add(1, std::memory_order_relaxed); i < n;
+         i = next_.fetch_add(1, std::memory_order_relaxed)) {
+      (*fn)(i);
+      ++mine;
+    }
+    lock.lock();
+    completed_ += mine;
+    --executing_;
+    if (completed_ == n_ || executing_ == 0) {
+      done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace dpack

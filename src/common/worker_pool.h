@@ -1,0 +1,59 @@
+// A small persistent thread pool for the sharded scheduling engine's fork-join phases.
+//
+// One pool lives as long as its owner (the engine), so worker threads are spawned once, not
+// per cycle; each ParallelFor is a fork-join barrier: work items are claimed atomically by
+// the workers and the calling thread, and the call returns only once every item has
+// finished. The mutex handoff at the join establishes happens-before between a phase's
+// writes and the next phase's reads, which is what lets the engine publish per-shard state
+// (snapshot refreshes, dirty bits, best alphas) without per-element synchronization.
+
+#ifndef SRC_COMMON_WORKER_POOL_H_
+#define SRC_COMMON_WORKER_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dpack {
+
+class WorkerPool {
+ public:
+  // Spawns `num_workers` threads (0 is allowed: every ParallelFor then runs inline on the
+  // caller). Workers beyond the machine's core count still provide correct fork-join
+  // semantics — they just timeslice — so shard counts exceeding the hardware are safe.
+  explicit WorkerPool(size_t num_workers);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  size_t num_workers() const { return workers_.size(); }
+
+  // Runs fn(i) for every i in [0, n), distributing items over the workers and the calling
+  // thread, and returns when all items completed. `fn` must not throw and must not call back
+  // into this pool (no nested ParallelFor). Only one thread may drive the pool.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // Workers wait here for a new generation.
+  std::condition_variable done_cv_;  // The caller waits here for completion / drain.
+  const std::function<void(size_t)>* fn_ = nullptr;  // Guarded by mu_.
+  size_t n_ = 0;                                     // Guarded by mu_.
+  size_t completed_ = 0;                             // Items finished; guarded by mu_.
+  size_t executing_ = 0;  // Workers inside a claim loop; guarded by mu_.
+  uint64_t generation_ = 0;                          // Guarded by mu_.
+  bool stop_ = false;                                // Guarded by mu_.
+  std::atomic<size_t> next_{0};                      // Next unclaimed item.
+};
+
+}  // namespace dpack
+
+#endif  // SRC_COMMON_WORKER_POOL_H_

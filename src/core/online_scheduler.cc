@@ -18,14 +18,28 @@ OnlineScheduler::OnlineScheduler(std::unique_ptr<Scheduler> inner, BlockManager*
   if (config_.fair_share_n <= 0) {
     config_.fair_share_n = config_.unlock_steps;
   }
+  if (config_.num_shards > 0) {
+    if (auto* greedy = dynamic_cast<GreedyScheduler*>(inner_.get())) {
+      greedy->set_num_shards(config_.num_shards);
+    }
+  }
 }
 
 const ScheduleContextStats* OnlineScheduler::context_stats() const {
   const auto* greedy = dynamic_cast<const GreedyScheduler*>(inner_.get());
-  if (greedy == nullptr || greedy->context() == nullptr) {
+  if (greedy == nullptr || greedy->engine() == nullptr) {
     return nullptr;
   }
-  return &greedy->context()->stats();
+  return &greedy->engine()->stats();
+}
+
+std::unique_ptr<Scheduler> OnlineScheduler::ReleaseInner() {
+  if (auto* greedy = dynamic_cast<GreedyScheduler*>(inner_.get())) {
+    if (greedy->engine() != nullptr) {
+      greedy->engine()->Invalidate();
+    }
+  }
+  return std::move(inner_);
 }
 
 void OnlineScheduler::ResolveBlocks(Task& task) {

@@ -30,6 +30,10 @@ struct OnlineSchedulerConfig {
   int64_t unlock_steps = 50;
   // Fair-share denominator for metrics; defaults to unlock_steps as in §6.3.
   int64_t fair_share_n = 0;
+  // When > 0 and the inner scheduler is a GreedyScheduler, reshard its incremental engine to
+  // this count at construction (see GreedySchedulerOptions::num_shards). 0 leaves the
+  // scheduler as constructed.
+  size_t num_shards = 0;
 };
 
 class OnlineScheduler {
@@ -54,8 +58,13 @@ class OnlineScheduler {
   const OnlineSchedulerConfig& config() const { return config_; }
 
   // Incremental-engine statistics of the inner scheduler, when it is a GreedyScheduler
-  // running on a ScheduleContext; nullptr otherwise (recompute mode, Optimal, wrappers).
+  // running on an incremental engine; nullptr otherwise (recompute mode, Optimal, wrappers).
   const ScheduleContextStats* context_stats() const;
+
+  // Returns ownership of the inner scheduler so it can outlive this driver (e.g. across
+  // orchestrator runs), invalidating any incremental engine first — its caches are bound to
+  // this driver's block manager. The driver must not be used after this call.
+  std::unique_ptr<Scheduler> ReleaseInner();
 
  private:
   void ResolveBlocks(Task& task);

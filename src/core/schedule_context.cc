@@ -12,20 +12,9 @@ namespace {
 
 constexpr uint64_t kNoReject = std::numeric_limits<uint64_t>::max();
 
-// Single-multiply sequence mix (splitmix64-style avalanche on the value, then a multiply
-// fold). Sequence-sensitive, so a reordering of the same ids — which would change the item
-// order fed to the best-alpha knapsacks — also changes the signature.
-constexpr uint64_t kSigSeed = 1469598103934665603ULL;
-
-uint64_t SigMix(uint64_t sig, uint64_t value) {
-  value *= 0x9E3779B97F4A7C15ULL;
-  value ^= value >> 29;
-  return (sig ^ value) * 0xBF58476D1CE4E5B9ULL;
-}
-
 // Sorts task indices by score descending, breaking ties by arrival time then id so results
-// are deterministic. This is the recompute path's ordering; the incremental heap's
-// EntryBefore reproduces it exactly for unique ids.
+// are deterministic. This is the recompute path's ordering; the incremental heaps'
+// HeapEntryBefore reproduces it exactly for unique ids.
 std::vector<size_t> OrderByScoreDesc(std::span<const Task> pending,
                                      std::span<const double> scores) {
   std::vector<size_t> order(pending.size());
@@ -120,17 +109,17 @@ std::vector<size_t> RecomputeScheduleBatch(GreedyMetric metric, double eta,
   return AllocateInOrder(pending, blocks, OrderByScoreDesc(pending, scores));
 }
 
-// --- TaskCacheMap --------------------------------------------------------------------------
+// --- TaskCacheMap (shared by ScheduleContext and ShardedScheduleContext) --------------------------------------------------------------------------
 
-ScheduleContext::TaskCacheMap::TaskCacheMap() { slots_.resize(1024); }
+TaskCacheMap::TaskCacheMap() { slots_.resize(1024); }
 
-size_t ScheduleContext::TaskCacheMap::Probe(TaskId id) const {
+size_t TaskCacheMap::Probe(TaskId id) const {
   uint64_t h = static_cast<uint64_t>(id) * 0x9E3779B97F4A7C15ULL;
   h ^= h >> 32;
   return static_cast<size_t>(h) & (slots_.size() - 1);
 }
 
-size_t ScheduleContext::TaskCacheMap::Find(TaskId id) const {
+size_t TaskCacheMap::Find(TaskId id) const {
   size_t i = Probe(id);
   while (slots_[i].used) {
     if (slots_[i].id == id) {
@@ -141,7 +130,7 @@ size_t ScheduleContext::TaskCacheMap::Find(TaskId id) const {
   return kNpos;
 }
 
-size_t ScheduleContext::TaskCacheMap::FindOrInsert(TaskId id) {
+size_t TaskCacheMap::FindOrInsert(TaskId id) {
   size_t i = Probe(id);
   while (slots_[i].used) {
     if (slots_[i].id == id) {
@@ -157,7 +146,7 @@ size_t ScheduleContext::TaskCacheMap::FindOrInsert(TaskId id) {
   return i;
 }
 
-bool ScheduleContext::TaskCacheMap::Reserve(size_t additional) {
+bool TaskCacheMap::Reserve(size_t additional) {
   size_t needed = 2 * (size_ + additional + 1);
   if (needed <= slots_.size()) {
     return false;
@@ -170,7 +159,7 @@ bool ScheduleContext::TaskCacheMap::Reserve(size_t additional) {
   return true;
 }
 
-void ScheduleContext::TaskCacheMap::Rehash(size_t new_capacity) {
+void TaskCacheMap::Rehash(size_t new_capacity) {
   std::vector<Slot> old = std::move(slots_);
   slots_.assign(new_capacity, Slot{});
   for (Slot& slot : old) {
@@ -184,7 +173,7 @@ void ScheduleContext::TaskCacheMap::Rehash(size_t new_capacity) {
   }
 }
 
-void ScheduleContext::TaskCacheMap::PurgeNotSeen(uint64_t cycle) {
+void TaskCacheMap::PurgeNotSeen(uint64_t cycle) {
   std::vector<Slot> old = std::move(slots_);
   slots_.assign(old.size(), Slot{});
   size_ = 0;
@@ -200,19 +189,14 @@ void ScheduleContext::TaskCacheMap::PurgeNotSeen(uint64_t cycle) {
   }
 }
 
-void ScheduleContext::TaskCacheMap::Clear() {
+void TaskCacheMap::Clear() {
   slots_.assign(slots_.size(), Slot{});
   size_ = 0;
 }
 
-// --- ScheduleContext -----------------------------------------------------------------------
+// --- Engine steps shared by ScheduleContext and ShardedScheduleContext --------------------
 
-ScheduleContext::ScheduleContext(GreedyMetric metric, double eta)
-    : metric_(metric), eta_(eta) {
-  DPACK_CHECK(eta_ > 0.0);
-}
-
-bool ScheduleContext::EntryBefore(const HeapEntry& a, const HeapEntry& b) {
+bool HeapEntryBefore(const HeapEntry& a, const HeapEntry& b) {
   if (a.score != b.score) {
     return a.score > b.score;
   }
@@ -220,6 +204,93 @@ bool ScheduleContext::EntryBefore(const HeapEntry& a, const HeapEntry& b) {
     return a.arrival < b.arrival;
   }
   return a.id < b.id;
+}
+
+double ScoreGreedyTask(GreedyMetric metric, const Task& task, const CapacitySnapshot& snapshot,
+                       std::span<const size_t> best_alpha) {
+  switch (metric) {
+    case GreedyMetric::kDpf:
+      return DpfEfficiency(task, snapshot);
+    case GreedyMetric::kArea:
+      return AreaEfficiency(task, snapshot);
+    case GreedyMetric::kDpack:
+      return DpackEfficiency(task, snapshot, best_alpha);
+    case GreedyMetric::kFcfs:
+      break;  // FCFS never scores.
+  }
+  DPACK_CHECK_MSG(false, "unscored metric");
+  return 0.0;
+}
+
+bool ShouldRescore(TaskCache& cached, const Task& task, GreedyMetric metric,
+                   uint64_t previous_cycle, std::span<const uint8_t> dirty) {
+  bool rescore = cached.last_seen != previous_cycle ||
+                 cached.blocks_ptr != task.blocks.data() ||
+                 cached.blocks_len != task.blocks.size();
+  if (rescore) {
+    cached.reject_vsum = kNoReject;  // New or re-resolved task: no feasibility memo.
+  } else if (metric != GreedyMetric::kDpf) {
+    for (BlockId j : task.blocks) {
+      if (dirty[static_cast<size_t>(j)]) {
+        rescore = true;
+        break;
+      }
+    }
+  }
+  return rescore;
+}
+
+void MergeScoreHeap(std::vector<HeapEntry>& heap, std::vector<HeapEntry>& fresh,
+                    std::vector<HeapEntry>& scratch, const TaskCacheMap& cache,
+                    uint64_t cycle_stamp, bool& slots_moved, std::vector<size_t>* order_out) {
+  std::sort(fresh.begin(), fresh.end(), HeapEntryBefore);
+  scratch.clear();
+  size_t hi = 0;
+  size_t fi = 0;
+  while (hi < heap.size() || fi < fresh.size()) {
+    bool take_heap;
+    if (hi >= heap.size()) {
+      take_heap = false;
+    } else if (fi >= fresh.size()) {
+      take_heap = true;
+    } else {
+      take_heap = HeapEntryBefore(heap[hi], fresh[fi]);
+    }
+    if (take_heap) {
+      HeapEntry entry = heap[hi++];
+      if (slots_moved) {
+        size_t slot = cache.Find(entry.id);
+        if (slot == TaskCacheMap::kNpos) {
+          continue;  // Stale: purged.
+        }
+        entry.slot = slot;
+      }
+      const TaskCache& cached = cache.at(entry.slot);
+      if (cached.last_seen != cycle_stamp || cached.generation != entry.generation) {
+        continue;  // Stale: superseded, granted, or evicted.
+      }
+      if (order_out != nullptr) {
+        order_out->push_back(cached.index);
+      }
+      scratch.push_back(entry);
+    } else {
+      const HeapEntry& entry = fresh[fi++];
+      if (order_out != nullptr) {
+        order_out->push_back(cache.at(entry.slot).index);
+      }
+      scratch.push_back(entry);
+    }
+  }
+  heap.swap(scratch);
+  fresh.clear();
+  slots_moved = false;
+}
+
+// --- ScheduleContext -----------------------------------------------------------------------
+
+ScheduleContext::ScheduleContext(GreedyMetric metric, double eta)
+    : metric_(metric), eta_(eta) {
+  DPACK_CHECK(eta_ > 0.0);
 }
 
 void ScheduleContext::Invalidate() {
@@ -253,7 +324,7 @@ void ScheduleContext::SyncBlocks(const BlockManager& blocks) {
     const PrivacyBlock& b = blocks.block(static_cast<BlockId>(j));
     snapshot_->Append(b.AvailableCurve(), b.capacity());
     last_version_.push_back(b.version());
-    member_sig_.push_back(kSigSeed);
+    member_sig_.push_back(kMemberSigSeed);
     best_alpha_.push_back(0);
     requesters_.emplace_back();
     dirty_[j] = true;
@@ -276,12 +347,12 @@ void ScheduleContext::SyncBlocks(const BlockManager& blocks) {
 }
 
 void ScheduleContext::MarkMembershipDirty(std::span<const Task> pending) {
-  sig_scratch_.assign(member_sig_.size(), kSigSeed);
+  sig_scratch_.assign(member_sig_.size(), kMemberSigSeed);
   for (const Task& task : pending) {
     for (BlockId j : task.blocks) {
       DPACK_CHECK(j >= 0 && static_cast<size_t>(j) < sig_scratch_.size());
       sig_scratch_[static_cast<size_t>(j)] =
-          SigMix(sig_scratch_[static_cast<size_t>(j)], static_cast<uint64_t>(task.id));
+          MemberSigMix(sig_scratch_[static_cast<size_t>(j)], static_cast<uint64_t>(task.id));
     }
   }
   for (size_t j = 0; j < member_sig_.size(); ++j) {
@@ -321,104 +392,22 @@ void ScheduleContext::RecomputeDirtyBestAlphas(std::span<const Task> pending) {
 }
 
 double ScheduleContext::ScoreTask(const Task& task) const {
-  switch (metric_) {
-    case GreedyMetric::kDpf:
-      return DpfEfficiency(task, *snapshot_);
-    case GreedyMetric::kArea:
-      return AreaEfficiency(task, *snapshot_);
-    case GreedyMetric::kDpack:
-      return DpackEfficiency(task, *snapshot_, best_alpha_);
-    case GreedyMetric::kFcfs:
-      break;  // FCFS never scores.
-  }
-  DPACK_CHECK_MSG(false, "unscored metric");
-  return 0.0;
+  return ScoreGreedyTask(metric_, task, *snapshot_, best_alpha_);
 }
 
 void ScheduleContext::PopHeapIntoOrder() {
   // Pop = in-order merge of the surviving sorted entries (heap_) with this cycle's rescored
-  // ones (fresh_), both under EntryBefore — exactly the reference sort's total order. Stale
-  // heap entries are detected here, at pop time: their generation was superseded by a
-  // rescore, or their task left the queue (granted or evicted, last_seen stale).
-  std::sort(fresh_.begin(), fresh_.end(), EntryBefore);
-  merged_.clear();
+  // ones (fresh_) under the reference sort's total order, emitting batch indices into
+  // order_; see MergeScoreHeap.
   order_.clear();
-  size_t hi = 0;
-  size_t fi = 0;
-  while (hi < heap_.size() || fi < fresh_.size()) {
-    bool take_heap;
-    if (hi >= heap_.size()) {
-      take_heap = false;
-    } else if (fi >= fresh_.size()) {
-      take_heap = true;
-    } else {
-      take_heap = EntryBefore(heap_[hi], fresh_[fi]);
-    }
-    if (take_heap) {
-      HeapEntry entry = heap_[hi++];
-      if (slots_moved_) {
-        size_t slot = cache_.Find(entry.id);
-        if (slot == TaskCacheMap::kNpos) {
-          continue;  // Stale: purged.
-        }
-        entry.slot = slot;
-      }
-      const TaskCache& cached = cache_.at(entry.slot);
-      if (cached.last_seen != cycle_stamp_ || cached.generation != entry.generation) {
-        continue;  // Stale: superseded, granted, or evicted.
-      }
-      order_.push_back(cached.index);
-      merged_.push_back(entry);
-    } else {
-      const HeapEntry& entry = fresh_[fi++];
-      order_.push_back(cache_.at(entry.slot).index);
-      merged_.push_back(entry);
-    }
-  }
-  heap_.swap(merged_);
-  fresh_.clear();
-  slots_moved_ = false;
+  MergeScoreHeap(heap_, fresh_, merged_, cache_, cycle_stamp_, slots_moved_, &order_);
 }
 
 std::vector<size_t> ScheduleContext::AllocateWithMemos(std::span<const Task> pending,
                                                        BlockManager& blocks) {
-  std::vector<size_t> granted;
-  for (size_t idx : order_) {
-    const Task& task = pending[idx];
-    if (task.blocks.empty()) {
-      continue;  // Unresolved block request.
-    }
-    TaskCache& cached = cache_.at(slot_of_index_[idx]);
-    // Version sums are monotone (each version only grows), so an unchanged sum proves every
-    // requested block unchanged since this task's last rejection — still infeasible, skip
-    // the per-order filter scans. Commits earlier in this walk bump versions, so the memo
-    // can never mask newly-created contention.
-    uint64_t vsum = 0;
-    for (BlockId j : task.blocks) {
-      vsum += version_now_[static_cast<size_t>(j)];
-    }
-    if (cached.reject_vsum == vsum) {
-      continue;
-    }
-    bool can_run = true;
-    for (BlockId j : task.blocks) {
-      if (!blocks.block(j).CanAccept(task.demand)) {
-        can_run = false;
-        break;
-      }
-    }
-    if (!can_run) {
-      cached.reject_vsum = vsum;
-      continue;
-    }
-    for (BlockId j : task.blocks) {
-      blocks.block(j).Commit(task.demand);
-      version_now_[static_cast<size_t>(j)] = blocks.block(j).version();
-    }
-    cached.last_seen = 0;  // The grant removes the task from the queue.
-    granted.push_back(idx);
-  }
-  return granted;
+  return RunAllocationWalk(pending, blocks, order_, version_now_, [&](size_t idx) -> TaskCache& {
+    return cache_.at(slot_of_index_[idx]);
+  });
 }
 
 std::vector<size_t> ScheduleContext::ScheduleBatch(std::span<const Task> pending,
@@ -459,25 +448,7 @@ std::vector<size_t> ScheduleContext::ScheduleBatch(std::span<const Task> pending
       duplicate_ids = true;
       break;
     }
-    // A cache entry is only trustworthy if the task was pending in the immediately
-    // preceding cycle (last_seen tracks the protocol's continuity) and its block list is
-    // unchanged (the vector buffer travels with the task on moves; reallocation on late
-    // resolution changes the pointer).
-    bool rescore = cached.last_seen != previous_cycle ||
-                   cached.blocks_ptr != task.blocks.data() ||
-                   cached.blocks_len != task.blocks.size();
-    if (rescore) {
-      cached.reject_vsum = kNoReject;  // New or re-resolved task: no feasibility memo.
-    } else if (metric_ != GreedyMetric::kDpf) {
-      // DPF scores depend only on total capacities, which never change for a fixed block
-      // list; Area and DPack scores must track the dirty blocks the task touches.
-      for (BlockId j : task.blocks) {
-        if (dirty_[static_cast<size_t>(j)]) {
-          rescore = true;
-          break;
-        }
-      }
-    }
+    bool rescore = ShouldRescore(cached, task, metric_, previous_cycle, dirty_);
     cached.last_seen = cycle_stamp_;
     cached.index = i;
     if (!rescore) {

@@ -49,6 +49,7 @@
 #define SRC_CORE_SCHEDULE_CONTEXT_H_
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <span>
 #include <vector>
@@ -85,7 +86,8 @@ std::vector<size_t> RecomputeScheduleBatch(GreedyMetric metric, double eta,
                                            BlockManager& blocks);
 
 // Counters describing how much work the engine reused vs redid. Monotonic over the context's
-// lifetime.
+// lifetime. A sharded engine (ShardedScheduleContext) aggregates its per-shard counters into
+// this struct, so consumers read one summary regardless of the shard count.
 struct ScheduleContextStats {
   uint64_t cycles = 0;                 // ScheduleBatch calls (non-empty batches).
   uint64_t tasks_rescored = 0;         // Scores computed.
@@ -93,9 +95,198 @@ struct ScheduleContextStats {
   uint64_t blocks_refreshed = 0;       // Snapshot entries refreshed (version changes).
   uint64_t best_alpha_recomputes = 0;  // Per-block best-alpha subproblems solved.
   uint64_t full_recomputes = 0;        // Fallbacks to RecomputeScheduleBatch.
+  uint64_t shards = 1;                 // Shard count of the engine that produced these stats.
+
+  // Per-shard counters are summed into the run-wide totals above.
+  void Accumulate(const ScheduleContextStats& other) {
+    tasks_rescored += other.tasks_rescored;
+    tasks_reused += other.tasks_reused;
+    blocks_refreshed += other.blocks_refreshed;
+    best_alpha_recomputes += other.best_alpha_recomputes;
+  }
 };
 
-class ScheduleContext {
+// --- Engine internals shared by the single-shard and sharded engines -----------------------
+
+// Cached per-task scoring state, keyed by task id.
+struct TaskCache {
+  double score = 0.0;
+  uint64_t generation = 0;  // Matches the live heap entry for this task.
+  // Version sum at last CANRUN rejection; ~0 = no memo.
+  uint64_t reject_vsum = ~0ULL;
+  // Cycle stamp: live iff == current cycle. ~0 = never pending (fresh entry; stamps are
+  // small counters, so it matches no cycle); 0 = dead (granted).
+  uint64_t last_seen = ~0ULL;
+  size_t index = 0;          // Position in the current cycle's batch.
+  // Identity of the task's resolved block list, for change detection: the block vector's
+  // buffer travels with the task on moves, so an unchanged (pointer, size) pair means an
+  // unchanged list under the immutability protocol. Late resolution reallocates (empty ->
+  // non-empty) and is therefore always caught.
+  const BlockId* blocks_ptr = nullptr;
+  size_t blocks_len = 0;
+};
+
+// One scored entry of the lazily-revalidated score heap.
+struct HeapEntry {
+  double score = 0.0;
+  double arrival = 0.0;
+  TaskId id = 0;
+  uint64_t generation = 0;
+  size_t slot = 0;  // Cache slot index; revalidated via Find when slots have moved.
+};
+
+// True if `a` precedes `b` in allocation order (score desc, arrival asc, id asc) — exactly
+// the recompute path's sort order. A strict total order for unique task ids, which is what
+// makes the sharded engine's N-way heap merge deterministic.
+bool HeapEntryBefore(const HeapEntry& a, const HeapEntry& b);
+
+// DPack requester-set signatures: single-multiply sequence mix (splitmix64-style avalanche
+// on the value, then a multiply fold). Sequence-sensitive, so a reordering of the same ids —
+// which would change the item order fed to the best-alpha knapsacks — also changes the
+// signature. Shared by the engines so per-block signature streams are comparable.
+inline constexpr uint64_t kMemberSigSeed = 1469598103934665603ULL;
+inline uint64_t MemberSigMix(uint64_t sig, uint64_t value) {
+  value *= 0x9E3779B97F4A7C15ULL;
+  value ^= value >> 29;
+  return (sig ^ value) * 0xBF58476D1CE4E5B9ULL;
+}
+
+// Open-addressing map TaskId -> TaskCache. The engine does a couple of lookups per
+// pending task per cycle, which makes std::unordered_map's indirections the bottleneck
+// for cheap metrics; a flat linear-probe table keeps the overhead below the recompute
+// path's scoring cost. Slot indices are stable except across Reserve/Purge rehashes,
+// which the engines track to lazily re-resolve heap entries.
+class TaskCacheMap {
+ public:
+  static constexpr size_t kNpos = static_cast<size_t>(-1);
+
+  TaskCacheMap();
+  size_t Find(TaskId id) const;  // kNpos when absent.
+  // Returns the slot for `id`, inserting a default entry if absent. Requires a prior
+  // Reserve covering the insert (so slots never move mid-cycle).
+  size_t FindOrInsert(TaskId id);
+  TaskCache& at(size_t slot) { return slots_[slot].value; }
+  const TaskCache& at(size_t slot) const { return slots_[slot].value; }
+  size_t size() const { return size_; }
+  // Ensures capacity for `additional` more inserts without rehashing. Returns true if the
+  // table rehashed (all slot indices invalidated).
+  bool Reserve(size_t additional);
+  // Drops every entry whose last_seen != `cycle`. Invalidates slot indices.
+  void PurgeNotSeen(uint64_t cycle);
+  void Clear();
+
+ private:
+  struct Slot {
+    TaskId id = 0;
+    bool used = false;
+    TaskCache value;
+  };
+  size_t Probe(TaskId id) const;
+  void Rehash(size_t new_capacity);
+
+  std::vector<Slot> slots_;  // Power-of-two size.
+  size_t size_ = 0;
+};
+
+// The per-cycle engine steps shared verbatim by ScheduleContext and
+// ShardedScheduleContext. Keeping these as single definitions is what makes the two
+// engines' grant sequences identical by construction: any change to the reuse, memo,
+// ordering, or tolerance rules lands in both at once.
+
+// Scores one task under `metric` against `snapshot` (and `best_alpha` for DPack). FCFS
+// never scores (DPACK_CHECKs).
+double ScoreGreedyTask(GreedyMetric metric, const Task& task, const CapacitySnapshot& snapshot,
+                       std::span<const size_t> best_alpha);
+
+// The score pass's reuse-vs-rescore decision for one task, given the cycle's per-block
+// dirty flags: a cache entry is only trustworthy if the task was pending in the
+// immediately preceding cycle (last_seen) with an unchanged block list (the vector buffer
+// travels with the task on moves; reallocation on late resolution changes the pointer),
+// and — for the capacity-aware metrics — none of its blocks is dirty (DPF scores depend
+// only on total capacities, which never change for a fixed block list). Clears the
+// feasibility memo when the task is new or re-resolved.
+bool ShouldRescore(TaskCache& cached, const Task& task, GreedyMetric metric,
+                   uint64_t previous_cycle, std::span<const uint8_t> dirty);
+
+// Merges `heap` (persistent, fully sorted) with `fresh` (this cycle's rescored entries)
+// under HeapEntryBefore — exactly the reference sort's total order — dropping stale
+// entries (superseded generations, granted or evicted tasks) at pop time; when
+// `slots_moved`, entries re-resolve their cache slot via Find. The merged live entries
+// replace `heap` (via `scratch`), `fresh` is cleared, `slots_moved` reset. When
+// `order_out` is non-null, each surviving entry's batch index is appended in merge order.
+void MergeScoreHeap(std::vector<HeapEntry>& heap, std::vector<HeapEntry>& fresh,
+                    std::vector<HeapEntry>& scratch, const TaskCacheMap& cache,
+                    uint64_t cycle_stamp, bool& slots_moved, std::vector<size_t>* order_out);
+
+// The CANRUN walk over `order` with feasibility memos — identical grants to
+// AllocateInOrder on the same order. Version sums are monotone (each version only grows),
+// so an unchanged sum proves every requested block unchanged since a task's last
+// rejection: still infeasible, skip the per-order filter scans. Commits made earlier in
+// the walk bump `version_now`, so the memo can never mask newly-created contention.
+// `cache_of_index` resolves a batch index to its TaskCache entry (engine-specific);
+// templated so the per-task resolution inlines on this hot path.
+template <typename CacheOfIndex>
+std::vector<size_t> RunAllocationWalk(std::span<const Task> pending, BlockManager& blocks,
+                                      std::span<const size_t> order,
+                                      std::span<uint64_t> version_now,
+                                      CacheOfIndex&& cache_of_index) {
+  std::vector<size_t> granted;
+  for (size_t idx : order) {
+    const Task& task = pending[idx];
+    if (task.blocks.empty()) {
+      continue;  // Unresolved block request.
+    }
+    TaskCache& cached = cache_of_index(idx);
+    uint64_t vsum = 0;
+    for (BlockId j : task.blocks) {
+      vsum += version_now[static_cast<size_t>(j)];
+    }
+    if (cached.reject_vsum == vsum) {
+      continue;
+    }
+    bool can_run = true;
+    for (BlockId j : task.blocks) {
+      if (!blocks.block(j).CanAccept(task.demand)) {
+        can_run = false;
+        break;
+      }
+    }
+    if (!can_run) {
+      cached.reject_vsum = vsum;
+      continue;
+    }
+    for (BlockId j : task.blocks) {
+      blocks.block(j).Commit(task.demand);
+      version_now[static_cast<size_t>(j)] = blocks.block(j).version();
+    }
+    cached.last_seen = 0;  // The grant removes the task from the queue.
+    granted.push_back(idx);
+  }
+  return granted;
+}
+
+// Abstract incremental scheduling engine: the interface `GreedyScheduler` drives, with two
+// implementations — the single-threaded `ScheduleContext` below and the multi-shard
+// `ShardedScheduleContext` (src/core/sharded_schedule_context.h). Both grant exactly the
+// same task sets as `RecomputeScheduleBatch` under the cycle protocol documented on
+// ScheduleContext::ScheduleBatch.
+class ScheduleEngine {
+ public:
+  virtual ~ScheduleEngine() = default;
+
+  virtual std::vector<size_t> ScheduleBatch(std::span<const Task> pending,
+                                            BlockManager& blocks) = 0;
+
+  // Drops all cached state; the next cycle rebuilds from scratch. Required before pointing
+  // the engine at a different BlockManager.
+  virtual void Invalidate() = 0;
+
+  virtual const ScheduleContextStats& stats() const = 0;
+  virtual GreedyMetric metric() const = 0;
+  virtual size_t num_shards() const { return 1; }
+};
+
+class ScheduleContext : public ScheduleEngine {
  public:
   // `eta` is DPack's approximation parameter (> 0); unused by the other metrics.
   explicit ScheduleContext(GreedyMetric metric, double eta = 0.05);
@@ -110,79 +301,16 @@ class ScheduleContext {
   // and all block mutation goes through Commit / SetUnlockedFraction / AddBlock so versions
   // advance. Call Invalidate() if any of this is violated (e.g. switching the context to a
   // different manager).
-  std::vector<size_t> ScheduleBatch(std::span<const Task> pending, BlockManager& blocks);
+  std::vector<size_t> ScheduleBatch(std::span<const Task> pending,
+                                    BlockManager& blocks) override;
 
   // Drops all cached state; the next cycle rebuilds from scratch.
-  void Invalidate();
+  void Invalidate() override;
 
-  GreedyMetric metric() const { return metric_; }
-  const ScheduleContextStats& stats() const { return stats_; }
+  GreedyMetric metric() const override { return metric_; }
+  const ScheduleContextStats& stats() const override { return stats_; }
 
  private:
-  struct TaskCache {
-    double score = 0.0;
-    uint64_t generation = 0;  // Matches the live heap entry for this task.
-    // Version sum at last CANRUN rejection; ~0 = no memo.
-    uint64_t reject_vsum = ~0ULL;
-    // Cycle stamp: live iff == current cycle. ~0 = never pending (fresh entry; stamps are
-    // small counters, so it matches no cycle); 0 = dead (granted).
-    uint64_t last_seen = ~0ULL;
-    size_t index = 0;          // Position in the current cycle's batch.
-    // Identity of the task's resolved block list, for change detection: the block vector's
-    // buffer travels with the task on moves, so an unchanged (pointer, size) pair means an
-    // unchanged list under the immutability protocol. Late resolution reallocates (empty ->
-    // non-empty) and is therefore always caught.
-    const BlockId* blocks_ptr = nullptr;
-    size_t blocks_len = 0;
-  };
-  struct HeapEntry {
-    double score = 0.0;
-    double arrival = 0.0;
-    TaskId id = 0;
-    uint64_t generation = 0;
-    size_t slot = 0;  // Cache slot index; revalidated via Find when slots have moved.
-  };
-
-  // Open-addressing map TaskId -> TaskCache. The engine does a couple of lookups per
-  // pending task per cycle, which makes std::unordered_map's indirections the bottleneck
-  // for cheap metrics; a flat linear-probe table keeps the overhead below the recompute
-  // path's scoring cost. Slot indices are stable except across Reserve/Purge rehashes,
-  // which the context tracks to lazily re-resolve heap entries.
-  class TaskCacheMap {
-   public:
-    static constexpr size_t kNpos = static_cast<size_t>(-1);
-
-    TaskCacheMap();
-    size_t Find(TaskId id) const;  // kNpos when absent.
-    // Returns the slot for `id`, inserting a default entry if absent. Requires a prior
-    // Reserve covering the insert (so slots never move mid-cycle).
-    size_t FindOrInsert(TaskId id);
-    TaskCache& at(size_t slot) { return slots_[slot].value; }
-    const TaskCache& at(size_t slot) const { return slots_[slot].value; }
-    size_t size() const { return size_; }
-    // Ensures capacity for `additional` more inserts without rehashing. Returns true if the
-    // table rehashed (all slot indices invalidated).
-    bool Reserve(size_t additional);
-    // Drops every entry whose last_seen != `cycle`. Invalidates slot indices.
-    void PurgeNotSeen(uint64_t cycle);
-    void Clear();
-
-   private:
-    struct Slot {
-      TaskId id = 0;
-      bool used = false;
-      TaskCache value;
-    };
-    size_t Probe(TaskId id) const;
-    void Rehash(size_t new_capacity);
-
-    std::vector<Slot> slots_;  // Power-of-two size.
-    size_t size_ = 0;
-  };
-
-  // True if `a` precedes `b` in allocation order (score desc, arrival asc, id asc).
-  static bool EntryBefore(const HeapEntry& a, const HeapEntry& b);
-
   void SyncBlocks(const BlockManager& blocks);
   void MarkMembershipDirty(std::span<const Task> pending);
   void RecomputeDirtyBestAlphas(std::span<const Task> pending);
@@ -204,7 +332,7 @@ class ScheduleContext {
   std::optional<CapacitySnapshot> snapshot_;
   std::vector<uint64_t> last_version_;  // Size doubles as the known-block count.
   std::vector<uint64_t> version_now_;  // Contiguous mirror of block versions for the walk.
-  std::vector<bool> dirty_;            // Reset each cycle; sized to block count.
+  std::vector<uint8_t> dirty_;         // Reset each cycle; sized to block count.
   std::vector<uint64_t> member_sig_;   // DPack: per-block requester-set signature.
   std::vector<size_t> best_alpha_;     // DPack: cached best order per block.
   std::vector<uint64_t> sig_scratch_;  // Per-cycle membership signature accumulator.

@@ -3,15 +3,39 @@
 #include <algorithm>
 
 #include "src/common/check.h"
+#include "src/core/sharded_schedule_context.h"
 
 namespace dpack {
 
 GreedyScheduler::GreedyScheduler(GreedyMetric metric, GreedySchedulerOptions options)
     : metric_(metric), options_(options) {
   DPACK_CHECK(options_.eta > 0.0);
-  if (options_.incremental) {
-    context_ = std::make_unique<ScheduleContext>(metric_, options_.eta);
+  DPACK_CHECK(options_.num_shards >= 1);
+  RebuildEngine();
+}
+
+void GreedyScheduler::RebuildEngine() {
+  if (!options_.incremental) {
+    engine_.reset();
+    return;
   }
+  // FCFS never scores, so the sharded engine would be a pass-through dragging an idle
+  // worker pool; keep it on the single-shard engine regardless of the shard knob.
+  if (options_.num_shards > 1 && metric_ != GreedyMetric::kFcfs) {
+    engine_ = std::make_unique<ShardedScheduleContext>(metric_, options_.eta,
+                                                       options_.num_shards);
+  } else {
+    engine_ = std::make_unique<ScheduleContext>(metric_, options_.eta);
+  }
+}
+
+void GreedyScheduler::set_num_shards(size_t num_shards) {
+  DPACK_CHECK(num_shards >= 1);
+  if (num_shards == options_.num_shards) {
+    return;
+  }
+  options_.num_shards = num_shards;
+  RebuildEngine();
 }
 
 std::string GreedyScheduler::name() const {
@@ -30,8 +54,8 @@ std::string GreedyScheduler::name() const {
 
 std::vector<size_t> GreedyScheduler::ScheduleBatch(std::span<const Task> pending,
                                                    BlockManager& blocks) {
-  if (context_ != nullptr) {
-    return context_->ScheduleBatch(pending, blocks);
+  if (engine_ != nullptr) {
+    return engine_->ScheduleBatch(pending, blocks);
   }
   return RecomputeScheduleBatch(metric_, options_.eta, pending, blocks);
 }
@@ -117,17 +141,19 @@ std::string SchedulerKindName(SchedulerKind kind) {
 }
 
 std::unique_ptr<Scheduler> CreateScheduler(SchedulerKind kind, double eta,
-                                           PkOptions optimal_options) {
+                                           PkOptions optimal_options, size_t num_shards) {
+  GreedySchedulerOptions greedy_options;
+  greedy_options.num_shards = num_shards;
   switch (kind) {
     case SchedulerKind::kDpack:
-      return std::make_unique<GreedyScheduler>(GreedyMetric::kDpack,
-                                               GreedySchedulerOptions{eta});
+      greedy_options.eta = eta;
+      return std::make_unique<GreedyScheduler>(GreedyMetric::kDpack, greedy_options);
     case SchedulerKind::kDpf:
-      return std::make_unique<GreedyScheduler>(GreedyMetric::kDpf);
+      return std::make_unique<GreedyScheduler>(GreedyMetric::kDpf, greedy_options);
     case SchedulerKind::kArea:
-      return std::make_unique<GreedyScheduler>(GreedyMetric::kArea);
+      return std::make_unique<GreedyScheduler>(GreedyMetric::kArea, greedy_options);
     case SchedulerKind::kFcfs:
-      return std::make_unique<GreedyScheduler>(GreedyMetric::kFcfs);
+      return std::make_unique<GreedyScheduler>(GreedyMetric::kFcfs, greedy_options);
     case SchedulerKind::kOptimal:
       return std::make_unique<OptimalScheduler>(optimal_options);
   }

@@ -47,6 +47,13 @@ struct GreedySchedulerOptions {
   // are rescored. When cleared, every batch is recomputed from scratch (the reference path —
   // identical grants, used by the differential tests and as the benchmarks' baseline).
   bool incremental = true;
+  // Shard count for the incremental engine (>= 1). With 1 the scheduler runs on the
+  // single-threaded ScheduleContext; with more it runs on ShardedScheduleContext, which
+  // partitions blocks and tasks across `num_shards` shards and rescoring across a worker
+  // pool, granting byte-identical task sequences (see src/core/sharded_schedule_context.h).
+  // Ignored when incremental is false (the recompute reference is single-threaded) and for
+  // FCFS (which never scores, so there is nothing to parallelize).
+  size_t num_shards = 1;
 };
 
 class GreedyScheduler : public Scheduler {
@@ -59,14 +66,22 @@ class GreedyScheduler : public Scheduler {
 
   GreedyMetric metric() const { return metric_; }
 
-  // The incremental engine, for cache control and stats. Non-null iff options.incremental.
-  ScheduleContext* context() { return context_.get(); }
-  const ScheduleContext* context() const { return context_.get(); }
+  // Reshards the incremental engine (>= 1). Rebuilds the engine, dropping all cached state,
+  // so call it between runs, not mid-run. No-op when the count is unchanged or when the
+  // scheduler runs the recompute path.
+  void set_num_shards(size_t num_shards);
+
+  // The incremental engine (single-shard or sharded), for cache control and stats. Non-null
+  // iff options.incremental.
+  ScheduleEngine* engine() { return engine_.get(); }
+  const ScheduleEngine* engine() const { return engine_.get(); }
 
  private:
+  void RebuildEngine();
+
   GreedyMetric metric_;
   GreedySchedulerOptions options_;
-  std::unique_ptr<ScheduleContext> context_;
+  std::unique_ptr<ScheduleEngine> engine_;
 };
 
 // The Optimal baseline: maps the batch to a privacy-knapsack instance over the blocks'
@@ -105,9 +120,11 @@ enum class SchedulerKind {
 
 std::string SchedulerKindName(SchedulerKind kind);
 
-// Factory covering every algorithm in the evaluation.
+// Factory covering every algorithm in the evaluation. `num_shards` > 1 runs the greedy
+// policies on the sharded incremental engine (ignored for Optimal).
 std::unique_ptr<Scheduler> CreateScheduler(SchedulerKind kind, double eta = 0.05,
-                                           PkOptions optimal_options = {});
+                                           PkOptions optimal_options = {},
+                                           size_t num_shards = 1);
 
 }  // namespace dpack
 

@@ -18,6 +18,20 @@ AlphaGridPtr GridOrDefault(const OrchestratorConfig& config) {
   return config.grid != nullptr ? config.grid : AlphaGrid::Default();
 }
 
+// Engine counters are monotonic over the scheduler's lifetime, and the scheduler survives
+// across runs; subtracting the run-entry snapshot yields this run's counters alone.
+ScheduleContextStats StatsDelta(const ScheduleContextStats& now,
+                                const ScheduleContextStats& before) {
+  ScheduleContextStats delta = now;
+  delta.cycles -= before.cycles;
+  delta.tasks_rescored -= before.tasks_rescored;
+  delta.tasks_reused -= before.tasks_reused;
+  delta.blocks_refreshed -= before.blocks_refreshed;
+  delta.best_alpha_recomputes -= before.best_alpha_recomputes;
+  delta.full_recomputes -= before.full_recomputes;
+  return delta;
+}
+
 }  // namespace
 
 ClusterOrchestrator::ClusterOrchestrator(std::unique_ptr<Scheduler> scheduler,
@@ -30,6 +44,7 @@ ClusterOrchestrator::ClusterOrchestrator(std::unique_ptr<Scheduler> scheduler,
 }
 
 OrchestratorRunResult ClusterOrchestrator::RunOfflinePass(std::vector<Task> tasks) {
+  DPACK_CHECK_MSG(scheduler_ != nullptr, "orchestrator scheduler missing (mid-run reentry?)");
   auto run_start = std::chrono::steady_clock::now();
   SimulatedStateStore store(config_.store_latency_us);
   BlockManager blocks(GridOrDefault(config_), config_.eps_g, config_.delta_g);
@@ -41,7 +56,12 @@ OrchestratorRunResult ClusterOrchestrator::RunOfflinePass(std::vector<Task> task
   OnlineSchedulerConfig online_config;
   online_config.period = config_.period;
   online_config.unlock_steps = 1;  // Offline: everything unlocked.
+  online_config.num_shards = config_.num_shards;
   OnlineScheduler online(std::move(scheduler_), &blocks, online_config);
+  ScheduleContextStats stats_at_entry;
+  if (const ScheduleContextStats* stats = online.context_stats()) {
+    stats_at_entry = *stats;
+  }
 
   // Client side: claim creation traffic (not charged to scheduler runtime).
   for (Task& task : tasks) {
@@ -61,16 +81,20 @@ OrchestratorRunResult ClusterOrchestrator::RunOfflinePass(std::vector<Task> task
   result.metrics = online.metrics();
   result.metrics.RecordCycleRuntime(pass_seconds);  // Full pass incl. store traffic.
   if (const ScheduleContextStats* stats = online.context_stats()) {
-    result.scheduler_stats = *stats;
+    result.scheduler_stats = StatsDelta(*stats, stats_at_entry);
   }
   result.store_operations = store.operations();
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - run_start).count();
   result.cycles = 1;
+  // Take the scheduler back so a later Run* call does not dereference a moved-from
+  // scheduler; its engine caches (bound to this run's manager) are invalidated.
+  scheduler_ = online.ReleaseInner();
   return result;
 }
 
 OrchestratorRunResult ClusterOrchestrator::RunOnline(std::vector<Task> tasks) {
+  DPACK_CHECK_MSG(scheduler_ != nullptr, "orchestrator scheduler missing (mid-run reentry?)");
   auto run_start = std::chrono::steady_clock::now();
   SimulatedStateStore store(config_.store_latency_us);
   BlockManager blocks(GridOrDefault(config_), config_.eps_g, config_.delta_g);
@@ -81,7 +105,12 @@ OrchestratorRunResult ClusterOrchestrator::RunOnline(std::vector<Task> tasks) {
   OnlineSchedulerConfig online_config;
   online_config.period = config_.period;
   online_config.unlock_steps = config_.unlock_steps;
+  online_config.num_shards = config_.num_shards;
   OnlineScheduler online(std::move(scheduler_), &blocks, online_config);
+  ScheduleContextStats stats_at_entry;
+  if (const ScheduleContextStats* stats = online.context_stats()) {
+    stats_at_entry = *stats;
+  }
 
   double last_arrival = 0.0;
   for (const Task& task : tasks) {
@@ -170,12 +199,13 @@ OrchestratorRunResult ClusterOrchestrator::RunOnline(std::vector<Task> tasks) {
   OrchestratorRunResult result;
   result.metrics = online.metrics();
   if (const ScheduleContextStats* stats = online.context_stats()) {
-    result.scheduler_stats = *stats;
+    result.scheduler_stats = StatsDelta(*stats, stats_at_entry);
   }
   result.store_operations = store.operations();
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - run_start).count();
   result.cycles = cycles;
+  scheduler_ = online.ReleaseInner();
   return result;
 }
 

@@ -41,6 +41,9 @@ struct OrchestratorConfig {
   double store_latency_us = 150.0;   // Simulated API-server round-trip latency.
   uint64_t store_ops_per_task = 3;   // Claim read + status update + budget commit.
   uint64_t store_ops_per_cycle = 4;  // Block list + lease renewal traffic.
+  // When > 0 and the scheduler is a GreedyScheduler, reshard its incremental engine
+  // (parallel scoring across this many block/task shards); 0 leaves it as constructed.
+  size_t num_shards = 0;
 };
 
 struct OrchestratorRunResult {
@@ -48,9 +51,10 @@ struct OrchestratorRunResult {
   uint64_t store_operations = 0;
   double wall_seconds = 0.0;
   size_t cycles = 0;
-  // Incremental-engine counters of the run's scheduler (zeros when the scheduler does not
-  // run on a ScheduleContext). The context is created once with the scheduler and survives
-  // every cycle of the run, so these reflect the whole run's cache behavior.
+  // Incremental-engine counters covering exactly this run (zeros when the scheduler does
+  // not run on an incremental engine). The engine survives every cycle of the run — and the
+  // scheduler survives across runs — so the run-entry snapshot is subtracted to isolate
+  // this run's cache behavior. `shards` is the engine's shard count, not a delta.
   ScheduleContextStats scheduler_stats;
 };
 
@@ -67,6 +71,10 @@ class ClusterOrchestrator {
   // processes the workload end to end; returns aggregate metrics. Tasks must be sorted by
   // arrival_time (virtual units).
   OrchestratorRunResult RunOnline(std::vector<Task> tasks);
+
+  // Both Run* methods lend the scheduler to the run's online driver and take it back (with
+  // its incremental caches invalidated — they are bound to the run's block manager) when the
+  // run finishes, so an orchestrator can execute any sequence of runs.
 
   const OrchestratorConfig& config() const { return config_; }
 

@@ -36,7 +36,15 @@ bool PrivacyFilter::TryCharge(const RdpCurve& loss) {
 
 bool PrivacyFilter::Exhausted() const {
   for (size_t i = 0; i < budget_.size(); ++i) {
-    if (budget_.epsilon(i) > 0.0 && consumed_.epsilon(i) < budget_.epsilon(i)) {
+    double cap = budget_.epsilon(i);
+    if (cap <= 0.0) {
+      continue;  // Unusable order.
+    }
+    // Same tolerance as CanCharge: remaining budget within the admission slack is not
+    // actionable, so a filter filled to within float noise of capacity must report
+    // exhausted rather than holding an uncommittable sliver open forever.
+    double slack = 1e-9 * (1.0 + cap);
+    if (consumed_.epsilon(i) + slack < cap) {
       return false;
     }
   }

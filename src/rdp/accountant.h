@@ -45,7 +45,8 @@ class PrivacyFilter {
   // Remaining budget per order, clamped at zero.
   RdpCurve Remaining() const { return budget_.SaturatingSubtract(consumed_); }
 
-  // True when no usable order has strictly positive remaining budget.
+  // True when every usable order's remaining budget is within the admission tolerance of
+  // CanCharge (1e-9 * (1 + cap)) — i.e. no meaningful charge can ever be accepted again.
   bool Exhausted() const;
 
  private:

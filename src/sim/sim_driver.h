@@ -33,6 +33,9 @@ struct SimConfig {
   // budget has unlocked. The paper's online runs measure the stream steady state (blocks
   // keep arriving as the run ends), not a fully drained system.
   double horizon_override = 0.0;
+  // When > 0 and the scheduler is a GreedyScheduler, reshard its incremental engine
+  // (parallel scoring across this many block/task shards); 0 leaves it as constructed.
+  size_t num_shards = 0;
 };
 
 struct SimResult {

@@ -11,8 +11,15 @@ namespace dpack {
 namespace {
 
 // 5 analytic families x 120 + 20 calibrated curves = 620 curves (§6.2).
+constexpr size_t kNumFamilies = 5;
 constexpr size_t kCurvesPerFamily = 120;
 constexpr size_t kCalibratedCurves = 20;
+// Subsampled families sweep kCurvesPerFamily / kSamplingRates noise parameters per rate.
+constexpr size_t kSamplingRates = 4;
+static_assert(kCurvesPerFamily % kSamplingRates == 0,
+              "subsampled families must tile kCurvesPerFamily exactly");
+static_assert(kNumFamilies * kCurvesPerFamily + kCalibratedCurves == 620,
+              "family counts must sum to the paper's 620-curve pool");
 
 // Log-spaced parameter sweep: count values from lo to hi inclusive.
 std::vector<double> LogSpace(double lo, double hi, size_t count) {
@@ -30,7 +37,7 @@ std::vector<double> LogSpace(double lo, double hi, size_t count) {
 CurvePool::CurvePool(AlphaGridPtr grid, RdpCurve capacity)
     : grid_(std::move(grid)), capacity_(std::move(capacity)) {
   DPACK_CHECK(SameGrid(grid_, capacity_.grid()));
-  curves_.reserve(5 * kCurvesPerFamily);
+  curves_.reserve(kNumFamilies * kCurvesPerFamily + kCalibratedCurves);
 
   // Family 1: Laplace. Small scales are tight at large alpha, large scales at mid alpha.
   for (double b : LogSpace(0.05, 50.0, kCurvesPerFamily)) {
@@ -40,19 +47,21 @@ CurvePool::CurvePool(AlphaGridPtr grid, RdpCurve capacity)
   for (double sigma : LogSpace(0.3, 60.0, kCurvesPerFamily)) {
     AddCurve({MechanismType::kGaussian, sigma, 0.0, 1});
   }
-  // Family 3: Subsampled Gaussian (DP-SGD-like): 31 sigmas x 4 sampling rates.
+  // Family 3: Subsampled Gaussian (DP-SGD-like): 30 sigmas x 4 sampling rates.
   {
     std::vector<double> qs = {0.001, 0.01, 0.05, 0.2};
-    for (double sigma : LogSpace(0.5, 20.0, kCurvesPerFamily / qs.size())) {
+    DPACK_CHECK(qs.size() == kSamplingRates);
+    for (double sigma : LogSpace(0.5, 20.0, kCurvesPerFamily / kSamplingRates)) {
       for (double q : qs) {
         AddCurve({MechanismType::kSubsampledGaussian, sigma, q, 1});
       }
     }
   }
-  // Family 4: Subsampled Laplace: 31 scales x 4 sampling rates.
+  // Family 4: Subsampled Laplace: 30 scales x 4 sampling rates.
   {
     std::vector<double> qs = {0.001, 0.01, 0.05, 0.2};
-    for (double b : LogSpace(0.1, 20.0, kCurvesPerFamily / qs.size())) {
+    DPACK_CHECK(qs.size() == kSamplingRates);
+    for (double b : LogSpace(0.1, 20.0, kCurvesPerFamily / kSamplingRates)) {
       for (double q : qs) {
         AddCurve({MechanismType::kSubsampledLaplace, b, q, 1});
       }
@@ -87,7 +96,7 @@ CurvePool::CurvePool(AlphaGridPtr grid, RdpCurve capacity)
       ++added;
     }
   }
-  DPACK_CHECK(curves_.size() == 5 * kCurvesPerFamily + kCalibratedCurves);
+  DPACK_CHECK(curves_.size() == kNumFamilies * kCurvesPerFamily + kCalibratedCurves);
 
   // Bucket curves by best alpha over the usable orders. Outliers with a raw normalized
   // eps_min below 0.05 are dropped from the buckets (the paper's rule, §6.2): keeping only

@@ -122,6 +122,19 @@ TEST(PrivacyBlockTest, ExhaustedDetection) {
   EXPECT_TRUE(block.Exhausted());
 }
 
+TEST(PrivacyBlockTest, ExhaustedToleratesFloatNoise) {
+  // Same tolerance as CanAccept: a block consumed to within float noise of capacity at
+  // every usable order can never admit a meaningful demand and must report exhausted.
+  PrivacyBlock block(0, Grid(), 10.0, 1e-7, 0.0);
+  std::vector<double> eps(Grid()->size(), 0.0);
+  for (size_t i = 0; i < Grid()->size(); ++i) {
+    double cap = block.capacity().epsilon(i);
+    eps[i] = cap > 0.0 ? cap * (1.0 - 1e-12) : 100.0;
+  }
+  block.Commit(RdpCurve(Grid(), eps));
+  EXPECT_TRUE(block.Exhausted());
+}
+
 TEST(PrivacyBlockDeathTest, CommitRejectedDemandAborts) {
   PrivacyBlock block(0, Grid(), 10.0, 1e-7, 0.0);
   EXPECT_DEATH(block.Commit(FlatDemand(11.0)), "filter");

@@ -1,11 +1,14 @@
-// Differential suite for the incremental scheduling engine: across randomized online traces
-// the engine must grant exactly the same task sets as the recompute-everything reference
-// path, for every greedy metric. The traces exercise the full protocol the cache depends on:
-// commits (via grants), stepwise budget unlocking, online block arrival, task arrival and
-// eviction, late block resolution, and weighted as well as uniform-weight batches.
+// Differential suite for the incremental scheduling engines: across randomized online
+// traces the single-shard engine (ScheduleContext) and the sharded engine
+// (ShardedScheduleContext, at several shard counts) must grant exactly the same task sets
+// as the recompute-everything reference path, for every greedy metric. The traces exercise
+// the full protocol the caches depend on: commits (via grants), stepwise budget unlocking,
+// online block arrival, task arrival and eviction, late block resolution, and weighted as
+// well as uniform-weight batches.
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 #include "src/block/block_manager.h"
@@ -33,19 +36,32 @@ struct TraceOptions {
   bool weighted = false;         // Random weights (FPTAS path) vs all-1 (max-cardinality).
   double evict_probability = 0.1;  // Per-cycle chance of dropping one random pending task.
   double unresolved_probability = 0.1;  // Tasks arriving before resolving their blocks.
+  // Incremental engines under test, one per shard count: 1 = the single-shard
+  // ScheduleContext, > 1 = ShardedScheduleContext with that many shards. Every engine must
+  // produce byte-identical grants to the recompute reference each cycle.
+  std::vector<size_t> shard_counts = {1};
 };
 
-// Runs the same randomized trace through an incremental and a recompute scheduler operating
-// on identically-constructed block managers, asserting identical grants every cycle.
+// Runs the same randomized trace through the recompute reference and one incremental engine
+// per requested shard count, each operating on identically-constructed block managers,
+// asserting identical grants every cycle.
 void RunDifferentialTrace(GreedyMetric metric, const TraceOptions& options) {
-  BlockManager inc_blocks(Grid(), kEpsG, kDeltaG);
-  BlockManager rec_blocks(Grid(), kEpsG, kDeltaG);
-  for (size_t b = 0; b < options.initial_blocks; ++b) {
-    inc_blocks.AddBlock(0.0, /*unlocked=*/true);
-    rec_blocks.AddBlock(0.0, /*unlocked=*/true);
-  }
-  GreedyScheduler incremental(metric, GreedySchedulerOptions{.eta = 0.05, .incremental = true});
   GreedyScheduler recompute(metric, GreedySchedulerOptions{.eta = 0.05, .incremental = false});
+  BlockManager rec_blocks(Grid(), kEpsG, kDeltaG);
+  std::vector<std::unique_ptr<GreedyScheduler>> engines;
+  std::vector<std::unique_ptr<BlockManager>> engine_blocks;
+  for (size_t shards : options.shard_counts) {
+    engines.push_back(std::make_unique<GreedyScheduler>(
+        metric,
+        GreedySchedulerOptions{.eta = 0.05, .incremental = true, .num_shards = shards}));
+    engine_blocks.push_back(std::make_unique<BlockManager>(Grid(), kEpsG, kDeltaG));
+  }
+  for (size_t b = 0; b < options.initial_blocks; ++b) {
+    rec_blocks.AddBlock(0.0, /*unlocked=*/true);
+    for (auto& blocks : engine_blocks) {
+      blocks->AddBlock(0.0, /*unlocked=*/true);
+    }
+  }
 
   Rng rng(options.seed);
   RdpCurve capacity = BlockCapacityCurve(Grid(), kEpsG, kDeltaG);
@@ -56,16 +72,20 @@ void RunDifferentialTrace(GreedyMetric metric, const TraceOptions& options) {
     double now = static_cast<double>(cycle);
     // Online block arrival: one per cycle while the arrival process lasts.
     if (cycle > 0 && cycle <= options.online_blocks) {
-      inc_blocks.AddBlock(now);
       rec_blocks.AddBlock(now);
+      for (auto& blocks : engine_blocks) {
+        blocks->AddBlock(now);
+      }
     }
-    inc_blocks.UpdateUnlocks(now, 1.0, options.unlock_steps);
     rec_blocks.UpdateUnlocks(now, 1.0, options.unlock_steps);
+    for (auto& blocks : engine_blocks) {
+      blocks->UpdateUnlocks(now, 1.0, options.unlock_steps);
+    }
 
     // Late resolution: unresolved tasks pick up the most recent blocks once any exist.
     for (Task& task : pending) {
       if (task.blocks.empty() && task.num_recent_blocks > 0) {
-        task.blocks = inc_blocks.MostRecentBlocks(task.num_recent_blocks);
+        task.blocks = rec_blocks.MostRecentBlocks(task.num_recent_blocks);
       }
     }
 
@@ -88,23 +108,25 @@ void RunDifferentialTrace(GreedyMetric metric, const TraceOptions& options) {
       } else {
         size_t count = static_cast<size_t>(
             rng.UniformInt(1, std::min<int64_t>(4, static_cast<int64_t>(
-                                                       inc_blocks.block_count()))));
-        for (size_t idx : rng.SampleWithoutReplacement(inc_blocks.block_count(), count)) {
+                                                       rec_blocks.block_count()))));
+        for (size_t idx : rng.SampleWithoutReplacement(rec_blocks.block_count(), count)) {
           task.blocks.push_back(static_cast<BlockId>(idx));
         }
       }
       pending.push_back(std::move(task));
     }
 
-    std::vector<size_t> inc_granted = incremental.ScheduleBatch(pending, inc_blocks);
     std::vector<size_t> rec_granted = recompute.ScheduleBatch(pending, rec_blocks);
-    ASSERT_EQ(inc_granted, rec_granted)
-        << "metric=" << static_cast<int>(metric) << " seed=" << options.seed
-        << " cycle=" << cycle;
+    for (size_t e = 0; e < engines.size(); ++e) {
+      std::vector<size_t> granted = engines[e]->ScheduleBatch(pending, *engine_blocks[e]);
+      ASSERT_EQ(granted, rec_granted)
+          << "metric=" << static_cast<int>(metric) << " seed=" << options.seed
+          << " cycle=" << cycle << " shards=" << options.shard_counts[e];
+    }
 
     // Retire grants exactly as OnlineScheduler does (order-preserving compaction).
     std::vector<bool> taken(pending.size(), false);
-    for (size_t idx : inc_granted) {
+    for (size_t idx : rec_granted) {
       taken[idx] = true;
     }
     std::vector<Task> rest;
@@ -117,22 +139,30 @@ void RunDifferentialTrace(GreedyMetric metric, const TraceOptions& options) {
     pending = std::move(rest);
   }
 
-  // Both managers consumed bit-identical budget.
-  ASSERT_EQ(inc_blocks.block_count(), rec_blocks.block_count());
-  for (size_t j = 0; j < inc_blocks.block_count(); ++j) {
-    const RdpCurve& a = inc_blocks.block(static_cast<BlockId>(j)).consumed();
-    const RdpCurve& b = rec_blocks.block(static_cast<BlockId>(j)).consumed();
-    for (size_t alpha = 0; alpha < a.size(); ++alpha) {
-      ASSERT_EQ(a.epsilon(alpha), b.epsilon(alpha)) << "block " << j << " order " << alpha;
+  // Every manager consumed bit-identical budget.
+  for (size_t e = 0; e < engines.size(); ++e) {
+    ASSERT_EQ(engine_blocks[e]->block_count(), rec_blocks.block_count());
+    for (size_t j = 0; j < rec_blocks.block_count(); ++j) {
+      const RdpCurve& a = engine_blocks[e]->block(static_cast<BlockId>(j)).consumed();
+      const RdpCurve& b = rec_blocks.block(static_cast<BlockId>(j)).consumed();
+      for (size_t alpha = 0; alpha < a.size(); ++alpha) {
+        ASSERT_EQ(a.epsilon(alpha), b.epsilon(alpha))
+            << "shards=" << options.shard_counts[e] << " block " << j << " order " << alpha;
+      }
     }
   }
 
-  // The trace must have actually exercised the cache, not fallen back every cycle.
-  ASSERT_NE(incremental.context(), nullptr);
-  const ScheduleContextStats& stats = incremental.context()->stats();
-  EXPECT_EQ(stats.full_recomputes, 0u);
-  if (metric != GreedyMetric::kFcfs) {
-    EXPECT_GT(stats.tasks_reused, 0u);
+  // The traces must have actually exercised the caches, not fallen back every cycle.
+  for (size_t e = 0; e < engines.size(); ++e) {
+    ASSERT_NE(engines[e]->engine(), nullptr);
+    const ScheduleContextStats& stats = engines[e]->engine()->stats();
+    // FCFS never scores, so its scheduler stays on the single-shard engine.
+    size_t expected_shards = metric == GreedyMetric::kFcfs ? 1 : options.shard_counts[e];
+    EXPECT_EQ(stats.shards, expected_shards);
+    EXPECT_EQ(stats.full_recomputes, 0u);
+    if (metric != GreedyMetric::kFcfs) {
+      EXPECT_GT(stats.tasks_reused, 0u);
+    }
   }
 }
 
@@ -154,6 +184,30 @@ TEST_P(IncrementalEquivalenceTest, WeightedTraces) {
     options.weighted = true;
     RunDifferentialTrace(GetParam(), options);
   }
+}
+
+TEST_P(IncrementalEquivalenceTest, ShardedTracesMatchMonolithic) {
+  // The sharded engine's acceptance sweep: byte-identical grant sequences across the whole
+  // randomized protocol for every shard count, including a count (7) that does not divide
+  // the block or task population evenly.
+  TraceOptions options;
+  options.seed = 17;
+  options.shard_counts = {1, 2, 4, 7};
+  RunDifferentialTrace(GetParam(), options);
+}
+
+TEST_P(IncrementalEquivalenceTest, ShardedWeightedHighContention) {
+  // Weighted scoring (FPTAS best-alpha path) under heavy contention, 4 shards: most of the
+  // queue persists across cycles while grants keep dirtying the few contended blocks.
+  TraceOptions options;
+  options.seed = 29;
+  options.weighted = true;
+  options.initial_blocks = 2;
+  options.online_blocks = 3;
+  options.max_tasks_per_cycle = 8.0;
+  options.cycles = 50;
+  options.shard_counts = {4};
+  RunDifferentialTrace(GetParam(), options);
 }
 
 TEST_P(IncrementalEquivalenceTest, HighContentionTrace) {
@@ -221,10 +275,22 @@ TEST(IncrementalEquivalenceTest, SimulatorEndToEndMatchesRecompute) {
         std::make_unique<GreedyScheduler>(
             metric, GreedySchedulerOptions{.eta = 0.05, .incremental = false}),
         tasks, sim);
+    SimConfig sharded_sim = sim;
+    sharded_sim.num_shards = 4;  // Resharded through the SimConfig knob.
+    SimResult sharded = RunOnlineSimulation(
+        std::make_unique<GreedyScheduler>(
+            metric, GreedySchedulerOptions{.eta = 0.05, .incremental = true}),
+        tasks, sharded_sim);
 
     EXPECT_EQ(inc.metrics.allocated(), rec.metrics.allocated());
     EXPECT_EQ(inc.metrics.allocated_weight(), rec.metrics.allocated_weight());
     EXPECT_EQ(inc.pending_at_end, rec.pending_at_end);
+    EXPECT_EQ(sharded.metrics.allocated(), rec.metrics.allocated());
+    EXPECT_EQ(sharded.metrics.allocated_weight(), rec.metrics.allocated_weight());
+    EXPECT_EQ(sharded.pending_at_end, rec.pending_at_end);
+    if (metric != GreedyMetric::kFcfs) {
+      EXPECT_EQ(sharded.scheduler_stats.shards, 4u);
+    }
   }
 }
 

@@ -56,6 +56,44 @@ TEST(OrchestratorOfflineTest, StoreLatencyDominatesRuntime) {
   EXPECT_GE(result.metrics.total_runtime_seconds(), 0.06);
 }
 
+TEST(OrchestratorOfflineTest, SecondRunReusesRestoredScheduler) {
+  // Regression: Run* moved the scheduler into the run's online driver and never took it
+  // back, so a second run on the same orchestrator dereferenced a moved-from (null)
+  // scheduler. The scheduler is now restored (with its engine caches invalidated) after
+  // every run.
+  ClusterOrchestrator orchestrator(CreateScheduler(SchedulerKind::kDpack), FastConfig());
+  for (int run = 0; run < 2; ++run) {
+    std::vector<Task> tasks;
+    for (int i = 0; i < 10; ++i) {
+      tasks.push_back(FractionTask(run * 100 + i, 0.05, 2, 0.0));
+    }
+    OrchestratorRunResult result = orchestrator.RunOfflinePass(std::move(tasks));
+    EXPECT_EQ(result.metrics.submitted(), 10u) << "run " << run;
+    EXPECT_EQ(result.metrics.allocated(), 10u) << "run " << run;
+    // Engine counters are per run, not lifetime: the restored scheduler's engine keeps its
+    // monotonic totals, but each result reports only its own run's single pass.
+    EXPECT_EQ(result.scheduler_stats.cycles, 1u) << "run " << run;
+  }
+}
+
+TEST(OrchestratorOnlineTest, OnlineThenOfflineReusesRestoredScheduler) {
+  ClusterOrchestrator orchestrator(CreateScheduler(SchedulerKind::kDpf), FastConfig());
+  std::vector<Task> online_tasks;
+  for (int i = 0; i < 8; ++i) {
+    online_tasks.push_back(FractionTask(i, 0.02, 1, 0.0));
+  }
+  OrchestratorRunResult online = orchestrator.RunOnline(std::move(online_tasks));
+  EXPECT_EQ(online.metrics.submitted(), 8u);
+
+  std::vector<Task> offline_tasks;
+  for (int i = 0; i < 8; ++i) {
+    offline_tasks.push_back(FractionTask(100 + i, 0.02, 1, 0.0));
+  }
+  OrchestratorRunResult offline = orchestrator.RunOfflinePass(std::move(offline_tasks));
+  EXPECT_EQ(offline.metrics.submitted(), 8u);
+  EXPECT_EQ(offline.metrics.allocated(), 8u);
+}
+
 TEST(OrchestratorOnlineTest, ProcessesWorkloadEndToEnd) {
   ClusterOrchestrator orchestrator(CreateScheduler(SchedulerKind::kDpack), FastConfig());
   std::vector<Task> tasks;
@@ -78,6 +116,54 @@ TEST(OrchestratorOnlineTest, DelaysRecordedInVirtualTime) {
   OrchestratorRunResult result = orchestrator.RunOnline(std::move(tasks));
   ASSERT_EQ(result.metrics.allocated(), 1u);
   EXPECT_GE(result.metrics.delays().Quantile(0.5), 1.0);
+}
+
+TEST(OrchestratorOnlineTest, EmptyTaskVectorShutsDownCleanly) {
+  // Shutdown-path coverage: with nothing to submit the producer finishes immediately and
+  // the run must still advance the clock, release online blocks, cycle the scheduler, and
+  // join the timekeeper without hanging.
+  ClusterOrchestrator orchestrator(CreateScheduler(SchedulerKind::kDpack), FastConfig());
+  OrchestratorRunResult result = orchestrator.RunOnline({});
+  EXPECT_EQ(result.metrics.submitted(), 0u);
+  EXPECT_EQ(result.metrics.allocated(), 0u);
+  EXPECT_GT(result.cycles, 0u);
+  EXPECT_GT(result.store_operations, 0u);  // Per-cycle traffic only.
+}
+
+TEST(OrchestratorOnlineTest, ZeroOnlineBlocksRunsOnOfflineBlocksOnly) {
+  // Shutdown-path coverage: with no online block arrivals the timekeeper's release counter
+  // stays pinned at zero and the horizon is driven by task arrivals and unlocking alone.
+  OrchestratorConfig config = FastConfig();
+  config.online_blocks = 0;
+  ClusterOrchestrator orchestrator(CreateScheduler(SchedulerKind::kDpack), config);
+  std::vector<Task> tasks;
+  for (int i = 0; i < 6; ++i) {
+    tasks.push_back(FractionTask(i, 0.02, 2, static_cast<double>(i % 2)));
+  }
+  OrchestratorRunResult result = orchestrator.RunOnline(std::move(tasks));
+  EXPECT_EQ(result.metrics.submitted(), 6u);
+  EXPECT_EQ(result.metrics.allocated(), 6u);  // Ample budget on the offline blocks.
+}
+
+TEST(OrchestratorOnlineTest, ShardedSchedulerMatchesMonolithic) {
+  // The num_shards knob flows through the orchestrator into the scheduler's engine, and the
+  // sharded engine allocates exactly what the single-shard engine does.
+  auto run = [](size_t num_shards) {
+    OrchestratorConfig config = FastConfig();
+    config.num_shards = num_shards;
+    std::vector<Task> tasks;
+    for (int i = 0; i < 20; ++i) {
+      tasks.push_back(FractionTask(i, 0.03, 2, static_cast<double>(i % 3)));
+    }
+    ClusterOrchestrator orchestrator(CreateScheduler(SchedulerKind::kDpack), config);
+    return orchestrator.RunOnline(std::move(tasks));
+  };
+  OrchestratorRunResult mono = run(0);
+  OrchestratorRunResult sharded = run(3);
+  EXPECT_EQ(sharded.metrics.allocated(), mono.metrics.allocated());
+  EXPECT_EQ(sharded.metrics.allocated_weight(), mono.metrics.allocated_weight());
+  EXPECT_EQ(sharded.scheduler_stats.shards, 3u);
+  EXPECT_EQ(mono.scheduler_stats.shards, 1u);
 }
 
 TEST(OrchestratorOnlineTest, DpackAllocatesAtLeastAsMuchAsDpfUnderContention) {

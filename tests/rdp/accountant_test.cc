@@ -96,6 +96,32 @@ TEST(PrivacyFilterTest, ExhaustedDetection) {
   EXPECT_TRUE(filter.Exhausted());
 }
 
+TEST(PrivacyFilterTest, ExhaustedToleratesFloatNoise) {
+  // Regression: Exhausted() used an exact comparison while CanCharge allows a
+  // 1e-9 * (1 + cap) slack, so a filter filled to within float noise of capacity reported
+  // non-exhausted forever. Both checks now share the tolerance.
+  PrivacyFilter filter(Grid(), 10.0, 1e-7);
+  // Fill every usable order to capacity minus a sliver far below the admission slack.
+  std::vector<double> eps(Grid()->size(), 0.0);
+  for (size_t i = 0; i < Grid()->size(); ++i) {
+    double cap = filter.budget().epsilon(i);
+    eps[i] = cap > 0.0 ? cap * (1.0 - 1e-12) : 100.0;
+  }
+  EXPECT_TRUE(filter.TryCharge(RdpCurve(Grid(), eps)));
+  EXPECT_TRUE(filter.Exhausted());
+}
+
+TEST(PrivacyFilterTest, NotExhaustedWithUsableRemainder) {
+  PrivacyFilter filter(Grid(), 10.0, 1e-7);
+  // Consume 90% everywhere: every usable order keeps a meaningful remainder.
+  std::vector<double> eps(Grid()->size(), 0.0);
+  for (size_t i = 0; i < Grid()->size(); ++i) {
+    eps[i] = 0.9 * std::max(filter.budget().epsilon(i), 0.0);
+  }
+  EXPECT_TRUE(filter.TryCharge(RdpCurve(Grid(), eps)));
+  EXPECT_FALSE(filter.Exhausted());
+}
+
 TEST(PrivacyFilterTest, RemainingClampsAtZero) {
   PrivacyFilter filter(Grid(), 10.0, 1e-7);
   std::vector<double> eps(Grid()->size(), 50.0);
