@@ -103,15 +103,21 @@ void Run(Scale scale) {
 
 double SteadyStateMsPerCycle(GreedyMetric metric, bool incremental,
                              const std::vector<Task>& tasks, size_t num_blocks,
-                             size_t cycles, size_t num_shards = 1) {
+                             size_t cycles, size_t num_shards = 1, bool async = false,
+                             ScheduleContextStats* stats_out = nullptr) {
   BlockManager blocks(AlphaGrid::Default(), kEpsG, kDeltaG);
   for (size_t b = 0; b < num_blocks; ++b) {
     blocks.AddBlock(0.0, /*unlocked=*/true);
   }
   RdpCurve tiny = SteadyStateTinyDemand();
   GreedyScheduler scheduler(metric, GreedySchedulerOptions{.incremental = incremental,
-                                                           .num_shards = num_shards});
+                                                           .num_shards = num_shards,
+                                                           .async = async});
   scheduler.ScheduleBatch(tasks, blocks);  // Warm-up: measure the steady state.
+  ScheduleContextStats at_entry;
+  if (scheduler.engine() != nullptr) {
+    at_entry = scheduler.engine()->stats();
+  }
   double seconds = 0.0;
   for (size_t c = 0; c < cycles; ++c) {
     blocks.block(static_cast<BlockId>(c % num_blocks)).Commit(tiny);  // 1/20 dirty.
@@ -119,6 +125,11 @@ double SteadyStateMsPerCycle(GreedyMetric metric, bool incremental,
     scheduler.ScheduleBatch(tasks, blocks);
     seconds +=
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  }
+  if (stats_out != nullptr && scheduler.engine() != nullptr) {
+    // The timed loop's counter deltas: deterministic for the fixed workload and cycle
+    // count, unlike the wall time — the CI regression gate compares these.
+    *stats_out = scheduler.engine()->stats().Delta(at_entry);
   }
   return 1e3 * seconds / static_cast<double>(cycles);
 }
@@ -181,6 +192,120 @@ void RunShardSweep(Scale scale) {
               std::to_string(num_tasks) + " pending tasks, 5% blocks dirty per cycle)");
 }
 
+// --- Async engine sweep (per-shard scheduler threads, same steady-state regime) -----------
+//
+// AsyncScheduleEngine replaces the fork-join cycle with persistent per-shard scheduler
+// threads: rescoring overlaps the other shards' block refreshes (the early-score share
+// below), and a cycle only merges the published heap snapshots and walks CANRUN. Grants
+// stay byte-identical (async differential suite). On a single-core host the sweep measures
+// only the dispatch/fence/publication overhead.
+
+void RunAsyncSweep(Scale scale) {
+  double f = ScaleFactor(scale);
+  size_t num_tasks = static_cast<size_t>(1000.0 * f);
+  if (num_tasks == 0) {
+    return;
+  }
+  constexpr size_t kBlocks = kSteadyStateBlocks;
+  constexpr size_t kCycles = 20;
+  std::vector<Task> tasks = SteadyStateTasks(num_tasks);
+  CsvTable table({"metric", "async_1_ms", "async_2_ms", "async_4_ms", "sync_4_ms",
+                  "early_score_share_4"});
+  for (GreedyMetric metric : {GreedyMetric::kDpack, GreedyMetric::kDpf, GreedyMetric::kArea}) {
+    ScheduleContextStats stats4;
+    double a1 = SteadyStateMsPerCycle(metric, true, tasks, kBlocks, kCycles, 1, true);
+    double a2 = SteadyStateMsPerCycle(metric, true, tasks, kBlocks, kCycles, 2, true);
+    double a4 = SteadyStateMsPerCycle(metric, true, tasks, kBlocks, kCycles, 4, true,
+                                      &stats4);
+    double s4 = SteadyStateMsPerCycle(metric, true, tasks, kBlocks, kCycles, 4);
+    double early_share =
+        stats4.tasks_rescored > 0
+            ? static_cast<double>(stats4.async_early_scores) /
+                  static_cast<double>(stats4.tasks_rescored)
+            : 0.0;
+    GreedyScheduler named(metric);
+    table.NewRow()
+        .Add(named.name())
+        .Add(FormatDouble(a1))
+        .Add(FormatDouble(a2))
+        .Add(FormatDouble(a4))
+        .Add(FormatDouble(s4))
+        .Add(FormatDouble(early_share));
+  }
+  table.Print("Fig. 5 addendum: per-cycle cost, async per-shard scheduler threads (" +
+              std::to_string(num_tasks) + " pending tasks, 5% blocks dirty per cycle)");
+}
+
+// --- Deterministic counter dump for the CI regression gate (--json <path>) ----------------
+//
+// Emits the steady-state engine counters in the same {"benchmarks": [...]} shape as
+// google-benchmark's JSON so scripts/check_bench_regression.py can gate both artifacts with
+// one parser. Only counters are compared by the gate; the *_ms fields ride along for
+// humans. Counters are exact functions of (workload seed, task count, cycle count, engine),
+// so they are stable across machines — unlike wall time on shared runners.
+
+void DumpCountersJson(Scale scale, const std::string& path) {
+  double f = ScaleFactor(scale);
+  size_t num_tasks = static_cast<size_t>(1000.0 * f);
+  if (num_tasks == 0) {
+    return;
+  }
+  constexpr size_t kBlocks = kSteadyStateBlocks;
+  constexpr size_t kCycles = 20;
+  std::vector<Task> tasks = SteadyStateTasks(num_tasks);
+  FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "fig5: cannot open %s for writing\n", path.c_str());
+    return;
+  }
+  std::fprintf(out, "{\n  \"benchmarks\": [\n");
+  bool first = true;
+  struct Leg {
+    const char* label;
+    size_t shards;
+    bool async;
+  };
+  const Leg legs[] = {{"sync", 1, false}, {"sync", 4, false},
+                      {"async", 1, true}, {"async", 4, true}};
+  for (GreedyMetric metric : {GreedyMetric::kDpack, GreedyMetric::kDpf, GreedyMetric::kArea}) {
+    GreedyScheduler named(metric);
+    for (const Leg& leg : legs) {
+      ScheduleContextStats stats;
+      double ms = SteadyStateMsPerCycle(metric, true, tasks, kBlocks, kCycles, leg.shards,
+                                        leg.async, &stats);
+      if (!first) {
+        std::fprintf(out, ",\n");
+      }
+      first = false;
+      std::fprintf(out,
+                   "    {\"name\": \"fig5_steady/%s/%s/shards:%zu\", "
+                   "\"wall_ms\": %.4f, "
+                   "\"rescored_per_cycle\": %.4f, \"reused_per_cycle\": %.4f, "
+                   "\"blocks_refreshed_per_cycle\": %.4f, \"best_alpha_per_cycle\": %.4f, "
+                   "\"early_scores_per_cycle\": %.4f, \"full_recomputes\": %.0f}",
+                   named.name().c_str(), leg.label, leg.shards, ms,
+                   static_cast<double>(stats.tasks_rescored) / kCycles,
+                   static_cast<double>(stats.tasks_reused) / kCycles,
+                   static_cast<double>(stats.blocks_refreshed) / kCycles,
+                   static_cast<double>(stats.best_alpha_recomputes) / kCycles,
+                   static_cast<double>(stats.async_early_scores) / kCycles,
+                   static_cast<double>(stats.full_recomputes));
+    }
+  }
+  std::fprintf(out, "\n  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote steady-state engine counters to %s\n", path.c_str());
+}
+
+std::string ParseJsonPath(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json") {
+      return argv[i + 1];
+    }
+  }
+  return "";
+}
+
 }  // namespace
 }  // namespace dpack::bench
 
@@ -188,8 +313,16 @@ int main(int argc, char** argv) {
   using namespace dpack::bench;
   Banner("Fig. 5: scalability under increasing load", "paper §6.2, Q2");
   Scale scale = ParseScale(argc, argv);
+  std::string json_path = ParseJsonPath(argc, argv);
+  if (!json_path.empty()) {
+    // Counter-dump mode (the CI regression gate): only the JSON consumer exists, so skip
+    // the human-readable sweeps — they would re-measure the same legs for nobody.
+    DumpCountersJson(scale, json_path);
+    return 0;
+  }
   Run(scale);
   RunIncrementalComparison(scale);
   RunShardSweep(scale);
+  RunAsyncSweep(scale);
   return 0;
 }

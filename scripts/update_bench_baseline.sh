@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Regenerates bench/baseline.json — the steady-state engine-counter baseline that CI's
+# bench-artifacts job gates against (scripts/check_bench_regression.py).
+#
+# Run from the repository root after an intentional change to the engines' work counters:
+#   ./scripts/update_bench_baseline.sh [build-dir]
+#
+# The baseline stores only deterministic work counters (reuse/rescore/refresh per cycle),
+# never wall time, so it can be generated on any machine. CI runs the same commands
+# (micro_scheduler filtered to the Steady benchmarks, fig5 at --quick scale); keep those in
+# sync with .github/workflows/ci.yml if you change them here.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT="bench/baseline.json"
+TMP_DIR="$(mktemp -d)"
+trap 'rm -rf "${TMP_DIR}"' EXIT
+
+cmake --build "${BUILD_DIR}" --target bench_micro_scheduler bench_fig5_scalability -j"$(nproc)"
+
+"./${BUILD_DIR}/bench_micro_scheduler" \
+  --benchmark_filter=Steady \
+  --benchmark_format=json \
+  --benchmark_out="${TMP_DIR}/micro_scheduler.json" \
+  --benchmark_out_format=json > /dev/null
+
+"./${BUILD_DIR}/bench_fig5_scalability" --quick --json "${TMP_DIR}/fig5_counters.json" \
+  > /dev/null
+
+python3 - "${TMP_DIR}/micro_scheduler.json" "${TMP_DIR}/fig5_counters.json" "${OUT}" <<'EOF'
+import json
+import sys
+
+merged = []
+for path in sys.argv[1:-1]:
+    with open(path) as fh:
+        data = json.load(fh)
+    for entry in data.get("benchmarks", []):
+        # Keep only the identity and the deterministic counters; drop timing fields so the
+        # checked-in baseline never churns from machine noise.
+        kept = {"name": entry["name"]}
+        for key, value in entry.items():
+            if isinstance(value, (int, float)) and (
+                    "per_cycle" in key or key == "full_recomputes"):
+                kept[key] = value
+        if len(kept) > 1:
+            merged.append(kept)
+
+with open(sys.argv[-1], "w") as fh:
+    json.dump({"benchmarks": merged}, fh, indent=2, sort_keys=True)
+    fh.write("\n")
+print(f"wrote {len(merged)} benchmark baselines to {sys.argv[-1]}")
+EOF

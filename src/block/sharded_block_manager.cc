@@ -5,10 +5,9 @@
 namespace dpack {
 
 ShardedBlockManager::ShardedBlockManager(BlockManager* blocks, size_t num_shards)
-    : blocks_(blocks) {
+    : blocks_(blocks), shards_(num_shards) {
   DPACK_CHECK(blocks_ != nullptr);
   DPACK_CHECK_MSG(num_shards >= 1, "ShardedBlockManager needs at least one shard");
-  shards_.resize(num_shards);
 }
 
 size_t ShardedBlockManager::Sync() {
@@ -21,7 +20,8 @@ size_t ShardedBlockManager::Sync() {
   for (size_t g = known_; g < count; ++g) {
     Shard& shard = shards_[ShardOf(static_cast<BlockId>(g))];
     shard.members.push_back(static_cast<BlockId>(g));
-    ++shard.epoch;
+    shard.epoch.store(shard.epoch.load(std::memory_order_relaxed) + 1,
+                      std::memory_order_release);
     shard.dirty = true;
   }
   known_ = count;
@@ -30,8 +30,8 @@ size_t ShardedBlockManager::Sync() {
     for (BlockId g : shard.members) {
       version += blocks_->block(g).version();
     }
-    if (version != shard.version) {
-      shard.version = version;
+    if (version != shard.version.load(std::memory_order_relaxed)) {
+      shard.version.store(version, std::memory_order_release);
       shard.dirty = true;
     }
   }

@@ -17,6 +17,12 @@
 //     proves every block in the shard bit-identical — the per-shard restriction of the
 //     manager's "unchanged (epoch, versions) => bit-identical capacity state".
 //
+// The clocks are atomics so per-shard scheduler threads (AsyncScheduleEngine) can read them
+// lock-free while the driver thread runs Sync(): a thread stamps (epoch, version) when it
+// starts working against the shard's state and revalidates the stamp when it publishes,
+// proving no Sync intervened — the engine's quiesce check. Sync() itself is still
+// single-writer (release stores); only the reads are concurrent.
+//
 // The partition is a passive overlay: it never mutates the manager, and it observes
 // arrivals only at Sync(), which callers run once per scheduling cycle (single-threaded)
 // before fanning work out per shard.
@@ -24,6 +30,7 @@
 #ifndef SRC_BLOCK_SHARDED_BLOCK_MANAGER_H_
 #define SRC_BLOCK_SHARDED_BLOCK_MANAGER_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -52,8 +59,14 @@ class ShardedBlockManager {
 
   // Member block ids of shard `s`, in increasing (arrival) order.
   const std::vector<BlockId>& shard_members(size_t s) const { return shards_[s].members; }
-  uint64_t shard_epoch(size_t s) const { return shards_[s].epoch; }
-  uint64_t shard_version(size_t s) const { return shards_[s].version; }
+  // Lock-free clock reads (acquire): safe from per-shard scheduler threads concurrently
+  // with a Sync() on the driver thread.
+  uint64_t shard_epoch(size_t s) const {
+    return shards_[s].epoch.load(std::memory_order_acquire);
+  }
+  uint64_t shard_version(size_t s) const {
+    return shards_[s].version.load(std::memory_order_acquire);
+  }
   // True when the last Sync() advanced shard `s`'s epoch or version — some member block's
   // capacity state changed (or arrived) since the previous Sync. Note this covers *capacity*
   // changes only; requester-set (membership) changes live outside the block layer.
@@ -70,12 +83,16 @@ class ShardedBlockManager {
  private:
   struct Shard {
     std::vector<BlockId> members;
-    uint64_t epoch = 0;    // Arrivals absorbed into this shard.
-    uint64_t version = 0;  // Sum of member versions at the last Sync.
-    bool dirty = false;    // Epoch or version advanced in the last Sync.
+    // The per-shard clocks. Atomics for lock-free reads from scheduler threads; all writes
+    // happen in Sync() on the driver thread (single writer, release stores).
+    std::atomic<uint64_t> epoch{0};    // Arrivals absorbed into this shard.
+    std::atomic<uint64_t> version{0};  // Sum of member versions at the last Sync.
+    bool dirty = false;  // Epoch or version advanced in the last Sync.
   };
 
   BlockManager* blocks_;
+  // Sized once at construction and never resized (Shard holds atomics, so the vector's
+  // elements must stay in place).
   std::vector<Shard> shards_;
   size_t known_ = 0;
 };

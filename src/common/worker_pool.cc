@@ -25,8 +25,20 @@ void WorkerPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
     return;
   }
   if (workers_.empty()) {
+    // Inline path, same exception semantics as the pooled one: every item runs, the first
+    // exception is rethrown after the drain.
+    std::exception_ptr error;
     for (size_t i = 0; i < n; ++i) {
-      fn(i);
+      try {
+        fn(i);
+      } catch (...) {
+        if (error == nullptr) {
+          error = std::current_exception();
+        }
+      }
+    }
+    if (error != nullptr) {
+      std::rethrow_exception(error);
     }
     return;
   }
@@ -38,6 +50,7 @@ void WorkerPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   fn_ = &fn;
   n_ = n;
   completed_ = 0;
+  error_ = nullptr;
   next_.store(0, std::memory_order_relaxed);
   ++generation_;
   lock.unlock();
@@ -47,13 +60,25 @@ void WorkerPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   size_t mine = 0;
   for (size_t i = next_.fetch_add(1, std::memory_order_relaxed); i < n;
        i = next_.fetch_add(1, std::memory_order_relaxed)) {
-    fn(i);
+    try {
+      fn(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> error_lock(mu_);
+      if (error_ == nullptr) {
+        error_ = std::current_exception();
+      }
+    }
     ++mine;
   }
   lock.lock();
   completed_ += mine;
   done_cv_.wait(lock, [&] { return completed_ == n_; });
   fn_ = nullptr;
+  if (error_ != nullptr) {
+    std::exception_ptr error = error_;
+    error_ = nullptr;
+    std::rethrow_exception(error);
+  }
 }
 
 void WorkerPool::WorkerLoop() {
@@ -72,7 +97,14 @@ void WorkerPool::WorkerLoop() {
     size_t mine = 0;
     for (size_t i = next_.fetch_add(1, std::memory_order_relaxed); i < n;
          i = next_.fetch_add(1, std::memory_order_relaxed)) {
-      (*fn)(i);
+      try {
+        (*fn)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> error_lock(mu_);
+        if (error_ == nullptr) {
+          error_ = std::current_exception();
+        }
+      }
       ++mine;
     }
     lock.lock();

@@ -13,6 +13,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -34,8 +35,13 @@ class WorkerPool {
   size_t num_workers() const { return workers_.size(); }
 
   // Runs fn(i) for every i in [0, n), distributing items over the workers and the calling
-  // thread, and returns when all items completed. `fn` must not throw and must not call back
-  // into this pool (no nested ParallelFor). Only one thread may drive the pool.
+  // thread, and returns when all items completed. `fn` must not call back into this pool
+  // (no nested ParallelFor). Only one thread may drive the pool.
+  //
+  // If an item throws, the exception is captured, the *remaining items still run* (each
+  // item is independent; a failed one never blocks the drain), and the first captured
+  // exception is rethrown here once every item has finished. The pool stays usable
+  // afterwards — a later ParallelFor starts with a clean slate.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
  private:
@@ -51,6 +57,7 @@ class WorkerPool {
   size_t executing_ = 0;  // Workers inside a claim loop; guarded by mu_.
   uint64_t generation_ = 0;                          // Guarded by mu_.
   bool stop_ = false;                                // Guarded by mu_.
+  std::exception_ptr error_;  // First exception thrown by an item; guarded by mu_.
   std::atomic<size_t> next_{0};                      // Next unclaimed item.
 };
 

@@ -1,0 +1,166 @@
+#include "src/core/async_schedule_engine.h"
+
+#include "src/common/check.h"
+
+namespace dpack {
+
+AsyncScheduleEngine::AsyncScheduleEngine(GreedyMetric metric, double eta, size_t num_shards)
+    : ShardedScheduleContext(metric, eta, num_shards, /*pool_workers=*/0),
+      stamps_(num_shards),
+      late_(num_shards) {
+  threads_.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    threads_.emplace_back([this, s] { ShardLoop(s); });
+  }
+}
+
+AsyncScheduleEngine::~AsyncScheduleEngine() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  dispatch_cv_.notify_all();
+  barrier_cv_.notify_all();
+  for (std::thread& thread : threads_) {
+    thread.join();
+  }
+}
+
+bool AsyncScheduleEngine::AllBlocksHome(const Task& task, size_t s) const {
+  for (BlockId j : task.blocks) {
+    if (partition_->ShardOf(j) != s) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void AsyncScheduleEngine::ShardLoop(size_t s) {
+  uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    dispatch_cv_.wait(lock, [&] { return stop_ || dispatch_seq_ != seen; });
+    if (stop_) {
+      return;
+    }
+    seen = dispatch_seq_;
+    std::span<const Task> pending = cycle_pending_;
+    const BlockManager* blocks = cycle_blocks_;
+    size_t refresh_limit = cycle_refresh_limit_;
+    uint64_t previous_cycle = cycle_previous_;
+    lock.unlock();
+
+    // Stamp the shard's clocks (lock-free atomic reads) before touching any capacity
+    // state; the publication step revalidates the stamp — the quiesce proof that no Sync
+    // ran while this snapshot was built.
+    ClockStamp stamp;
+    stamp.epoch = partition_->shard_epoch(s);
+    stamp.version = partition_->shard_version(s);
+
+    // Phase 2 body: refresh owned blocks (shard-owned writes only).
+    SyncShardBlocks(s, *blocks, pending, refresh_limit);
+
+    // Early score pass, before the refresh fence: tasks whose inputs this shard already
+    // owns. DPF reads only total capacities (immutable after the sequential arrival
+    // append), so every DPF home task qualifies; for the capacity-aware metrics only tasks
+    // whose block list lives entirely in this shard do (their snapshot entries, dirty
+    // flags, and best alphas were finalized by this thread's own refresh).
+    ShardContext& shard = shards_[s];
+    std::vector<size_t>& late = late_[s];
+    late.clear();
+    shard.slots_moved |= shard.cache.Reserve(shard.task_indices.size());
+    bool scoring_ok = true;
+    for (size_t i : shard.task_indices) {
+      if (metric_ == GreedyMetric::kDpf || AllBlocksHome(pending[i], s)) {
+        uint64_t rescored_before = shard.partial.tasks_rescored;
+        if (!ScoreOneTask(shard, pending, i, previous_cycle)) {
+          scoring_ok = false;  // Duplicate id; flag is set, batch will fall back.
+          break;
+        }
+        shard.partial.async_early_scores += shard.partial.tasks_rescored - rescored_before;
+      } else {
+        late.push_back(i);
+      }
+    }
+
+    // Refresh fence: every shard's phase-2 writes must happen-before any cross-shard
+    // scoring reads. The last thread through releases the others.
+    lock.lock();
+    if (++refresh_done_ == num_shards_) {
+      barrier_cv_.notify_all();
+    } else {
+      barrier_cv_.wait(lock, [&] { return refresh_done_ == num_shards_ || stop_; });
+      if (stop_) {
+        return;
+      }
+    }
+    lock.unlock();
+
+    // Late score pass (cross-shard block lists), then the local heap merge.
+    if (scoring_ok) {
+      for (size_t i : late) {
+        if (!ScoreOneTask(shard, pending, i, previous_cycle)) {
+          scoring_ok = false;
+          break;
+        }
+      }
+    }
+    if (scoring_ok && !shard.duplicate) {
+      MergeShardHeap(shard);
+    }
+
+    // Revalidate the clock stamp: versions are monotone, so unchanged (epoch, version)
+    // proves the shard's whole capacity state is still exactly what the scores saw.
+    stamp.valid = stamp.epoch == partition_->shard_epoch(s) &&
+                  stamp.version == partition_->shard_version(s);
+
+    // Publish: heap + stamp become visible to the driver through the mutex handoff.
+    lock.lock();
+    stamps_[s] = stamp;
+    if (++published_ == num_shards_) {
+      done_cv_.notify_one();
+    }
+  }
+}
+
+bool AsyncScheduleEngine::RunPhases(std::span<const Task> pending, const BlockManager& blocks,
+                                    size_t refresh_limit, uint64_t previous_cycle) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cycle_pending_ = pending;
+    cycle_blocks_ = &blocks;
+    cycle_refresh_limit_ = refresh_limit;
+    cycle_previous_ = previous_cycle;
+    refresh_done_ = 0;
+    published_ = 0;
+    ++dispatch_seq_;
+  }
+  dispatch_cv_.notify_all();
+
+  // Quiesce: wait for every shard's publication, then validate every stamp.
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return published_ == num_shards_; });
+  cycle_pending_ = {};
+  cycle_blocks_ = nullptr;
+  uint64_t stale = 0;
+  for (const ClockStamp& stamp : stamps_) {
+    if (!stamp.valid) {
+      ++stale;
+    }
+  }
+  if (stale > 0) {
+    // A Sync ran while snapshots were being built — the cycle protocol was violated.
+    // Abandon the cycle (ScheduleBatch falls back to the recompute reference) and account
+    // for the discarded speculation.
+    pending_stale_publishes_ = stale;
+    uint64_t wasted = 0;
+    for (const ShardContext& shard : shards_) {
+      wasted += shard.partial.tasks_rescored;
+    }
+    pending_wasted_rescores_ = wasted;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace dpack

@@ -1,0 +1,109 @@
+// Async scheduling engine (the ROADMAP's "async per-shard scheduler threads" item): the
+// continuously-concurrent successor of ShardedScheduleContext's fork-join cycle. One
+// persistent scheduler thread per shard watches for work against its shard's (epoch,
+// version) clocks in ShardedBlockManager (lock-free atomic reads), rescores its home tasks,
+// and publishes a freshest-heap snapshot; a scheduling cycle then only performs the
+// deterministic N-way heap merge + sequential CANRUN walk over the published snapshots.
+// Grants are byte-identical to the synchronous sharded engine (and hence to the single-
+// shard engine and RecomputeScheduleBatch) — pinned by the async differential traces in
+// tests/core/incremental_equivalence_test.cc and raced by tests/core/async_engine_soak_test.
+//
+// Publication protocol (overrides ShardedScheduleContext::RunPhases; the phase *bodies*
+// are the shared single-definition steps of the base class):
+//
+//   dispatch   The driver thread finishes the sequential prologue (ShardedBlockManager::
+//              Sync absorbs arrivals and advances the atomic per-shard clocks; the batch is
+//              partitioned by home shard) and bumps the dispatch sequence. Shard threads
+//              wake; each stamps its shard's (epoch, version) clocks lock-free.
+//   refresh    Each thread refreshes its owned blocks in the shared capacity snapshot and
+//              solves its dirty owned best-alpha subproblems (phase 2 body), writing only
+//              shard-owned entries.
+//   early      Before any fence, the thread rescores the home tasks whose inputs it already
+//              owns: every task whose requested blocks all live in this shard — and, for
+//              DPF, every task, since DPF scores read only total capacities, which are
+//              immutable after the (sequential) arrival append. This overlaps scoring with
+//              the other shards' refresh work; counted as async_early_scores.
+//   fence      A single barrier among the shard threads: every shard's refresh (snapshot
+//              entries, dirty flags, best alphas) happens-before every shard's cross-shard
+//              scoring reads.
+//   late       The thread scores its remaining home tasks (cross-shard block lists), merges
+//              its sorted heap with the cycle's rescored entries (shared MergeScoreHeap),
+//              and revalidates its clock stamp: unchanged (epoch, version) proves no Sync
+//              intervened since work started — the shard's capacity state is exactly the
+//              state the scores were computed from.
+//   publish    The thread publishes heap + stamp (mutex handoff) and goes back to watching.
+//   quiesce    The driver's fence: it waits until every shard has published this cycle's
+//              snapshot, then validates every stamp. Any stale stamp (impossible under the
+//              cycle protocol; counted as async_stale_publishes) abandons the cycle to the
+//              recompute reference, so grants stay correct even if a caller violates the
+//              protocol. The merge + CANRUN walk then run over the published heaps exactly
+//              as in the synchronous engine.
+//
+// Determinism: every score is computed by the same function on bit-identical snapshot state
+// as the synchronous engine — the early/late split only reorders score *computation* within
+// a shard (generation numbers differ, but generations never influence the merge order, only
+// staleness detection). The N-way merge under HeapEntryBefore (a strict total order for
+// unique task ids) and the sequential walk are unchanged, so the grant sequence is
+// byte-identical for every shard count and thread timing.
+
+#ifndef SRC_CORE_ASYNC_SCHEDULE_ENGINE_H_
+#define SRC_CORE_ASYNC_SCHEDULE_ENGINE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "src/core/sharded_schedule_context.h"
+
+namespace dpack {
+
+class AsyncScheduleEngine : public ShardedScheduleContext {
+ public:
+  // Spawns `num_shards` persistent scheduler threads (>= 1). Same cycle protocol as the
+  // synchronous engines; the caller must not run ScheduleBatch concurrently with itself.
+  AsyncScheduleEngine(GreedyMetric metric, double eta, size_t num_shards);
+  ~AsyncScheduleEngine() override;
+
+ protected:
+  bool RunPhases(std::span<const Task> pending, const BlockManager& blocks,
+                 size_t refresh_limit, uint64_t previous_cycle) override;
+
+ private:
+  // A shard thread's lock-free clock reading at work start, revalidated at publication.
+  struct ClockStamp {
+    uint64_t epoch = 0;
+    uint64_t version = 0;
+    bool valid = true;
+  };
+
+  void ShardLoop(size_t s);
+  bool AllBlocksHome(const Task& task, size_t s) const;
+
+  std::mutex mu_;
+  std::condition_variable dispatch_cv_;  // Shard threads wait here for a new cycle.
+  std::condition_variable barrier_cv_;   // The refresh fence among shard threads.
+  std::condition_variable done_cv_;      // The driver waits here for all publications.
+
+  // Cycle inputs and progress; all guarded by mu_. The mutex handoffs are what establish
+  // happens-before for the unguarded shared engine state (base-class arrays), per the
+  // visibility contract in sharded_schedule_context.h.
+  uint64_t dispatch_seq_ = 0;
+  std::span<const Task> cycle_pending_;
+  const BlockManager* cycle_blocks_ = nullptr;
+  size_t cycle_refresh_limit_ = 0;
+  uint64_t cycle_previous_ = 0;
+  size_t refresh_done_ = 0;  // Shards past the refresh + early-score step.
+  size_t published_ = 0;     // Shards that published their heap this cycle.
+  bool stop_ = false;
+  std::vector<ClockStamp> stamps_;  // Per shard; written at publication.
+
+  std::vector<std::vector<size_t>> late_;  // Per shard: cross-shard home tasks (scratch).
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace dpack
+
+#endif  // SRC_CORE_ASYNC_SCHEDULE_ENGINE_H_

@@ -18,9 +18,12 @@ OnlineScheduler::OnlineScheduler(std::unique_ptr<Scheduler> inner, BlockManager*
   if (config_.fair_share_n <= 0) {
     config_.fair_share_n = config_.unlock_steps;
   }
-  if (config_.num_shards > 0) {
-    if (auto* greedy = dynamic_cast<GreedyScheduler*>(inner_.get())) {
+  if (auto* greedy = dynamic_cast<GreedyScheduler*>(inner_.get())) {
+    if (config_.num_shards > 0) {
       greedy->set_num_shards(config_.num_shards);
+    }
+    if (config_.async) {
+      greedy->set_async(true);
     }
   }
 }

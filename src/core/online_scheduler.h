@@ -34,6 +34,10 @@ struct OnlineSchedulerConfig {
   // this count at construction (see GreedySchedulerOptions::num_shards). 0 leaves the
   // scheduler as constructed.
   size_t num_shards = 0;
+  // When set and the inner scheduler is a GreedyScheduler, switch its incremental engine to
+  // the async per-shard-thread engine at construction (GreedySchedulerOptions::async).
+  // false leaves the scheduler as constructed.
+  bool async = false;
 };
 
 class OnlineScheduler {

@@ -97,12 +97,47 @@ struct ScheduleContextStats {
   uint64_t full_recomputes = 0;        // Fallbacks to RecomputeScheduleBatch.
   uint64_t shards = 1;                 // Shard count of the engine that produced these stats.
 
+  // Async engine (AsyncScheduleEngine) counters; zero for the synchronous engines.
+  //   - async_early_scores: rescores a shard thread computed *before* the global refresh
+  //     fence, overlapped with the other shards' block refreshes (provably safe: the task's
+  //     inputs are entirely shard-owned, or the metric is DPF, whose scores read only total
+  //     capacities, which are immutable after arrival).
+  //   - async_stale_publishes: published heap snapshots whose (epoch, version) clock stamp
+  //     failed quiesce validation at the fence. Expected 0 under the cycle protocol; any
+  //     occurrence means a concurrent Sync was caught and the batch fell back to the
+  //     recompute reference (grants stay correct).
+  //   - async_wasted_rescores: rescores discarded because their cycle's publication was
+  //     stale (the work thrown away by a fallback).
+  uint64_t async_early_scores = 0;
+  uint64_t async_stale_publishes = 0;
+  uint64_t async_wasted_rescores = 0;
+
   // Per-shard counters are summed into the run-wide totals above.
   void Accumulate(const ScheduleContextStats& other) {
     tasks_rescored += other.tasks_rescored;
     tasks_reused += other.tasks_reused;
     blocks_refreshed += other.blocks_refreshed;
     best_alpha_recomputes += other.best_alpha_recomputes;
+    async_early_scores += other.async_early_scores;
+  }
+
+  // Counters are monotonic over an engine's lifetime; subtracting an earlier snapshot
+  // isolates one run's (or one timed loop's) work. `shards` is carried over, not
+  // subtracted — it identifies the engine, it is not a counter. The single definition all
+  // delta consumers (orchestrator results, bench reports) must share, so a future counter
+  // cannot be forgotten in one of them.
+  ScheduleContextStats Delta(const ScheduleContextStats& before) const {
+    ScheduleContextStats delta = *this;
+    delta.cycles -= before.cycles;
+    delta.tasks_rescored -= before.tasks_rescored;
+    delta.tasks_reused -= before.tasks_reused;
+    delta.blocks_refreshed -= before.blocks_refreshed;
+    delta.best_alpha_recomputes -= before.best_alpha_recomputes;
+    delta.full_recomputes -= before.full_recomputes;
+    delta.async_early_scores -= before.async_early_scores;
+    delta.async_stale_publishes -= before.async_stale_publishes;
+    delta.async_wasted_rescores -= before.async_wasted_rescores;
+    return delta;
   }
 };
 

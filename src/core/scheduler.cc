@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/check.h"
+#include "src/core/async_schedule_engine.h"
 #include "src/core/sharded_schedule_context.h"
 
 namespace dpack {
@@ -19,9 +20,14 @@ void GreedyScheduler::RebuildEngine() {
     engine_.reset();
     return;
   }
-  // FCFS never scores, so the sharded engine would be a pass-through dragging an idle
-  // worker pool; keep it on the single-shard engine regardless of the shard knob.
-  if (options_.num_shards > 1 && metric_ != GreedyMetric::kFcfs) {
+  // FCFS never scores, so the sharded and async engines would be pass-throughs dragging
+  // idle threads; keep it on the single-shard engine regardless of the knobs.
+  if (metric_ == GreedyMetric::kFcfs) {
+    engine_ = std::make_unique<ScheduleContext>(metric_, options_.eta);
+  } else if (options_.async) {
+    engine_ = std::make_unique<AsyncScheduleEngine>(metric_, options_.eta,
+                                                    options_.num_shards);
+  } else if (options_.num_shards > 1) {
     engine_ = std::make_unique<ShardedScheduleContext>(metric_, options_.eta,
                                                        options_.num_shards);
   } else {
@@ -35,6 +41,14 @@ void GreedyScheduler::set_num_shards(size_t num_shards) {
     return;
   }
   options_.num_shards = num_shards;
+  RebuildEngine();
+}
+
+void GreedyScheduler::set_async(bool async) {
+  if (async == options_.async) {
+    return;
+  }
+  options_.async = async;
   RebuildEngine();
 }
 
@@ -141,9 +155,11 @@ std::string SchedulerKindName(SchedulerKind kind) {
 }
 
 std::unique_ptr<Scheduler> CreateScheduler(SchedulerKind kind, double eta,
-                                           PkOptions optimal_options, size_t num_shards) {
+                                           PkOptions optimal_options, size_t num_shards,
+                                           bool async) {
   GreedySchedulerOptions greedy_options;
   greedy_options.num_shards = num_shards;
+  greedy_options.async = async;
   switch (kind) {
     case SchedulerKind::kDpack:
       greedy_options.eta = eta;

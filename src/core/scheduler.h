@@ -54,6 +54,12 @@ struct GreedySchedulerOptions {
   // Ignored when incremental is false (the recompute reference is single-threaded) and for
   // FCFS (which never scores, so there is nothing to parallelize).
   size_t num_shards = 1;
+  // When set, the incremental engine runs on AsyncScheduleEngine: one persistent scheduler
+  // thread per shard rescoring against lock-free per-shard clock reads and publishing heap
+  // snapshots, with a quiesce/fence keeping grants byte-identical to the synchronous
+  // sharded engine (see src/core/async_schedule_engine.h). Applies to any num_shards >= 1;
+  // ignored when incremental is false and for FCFS.
+  bool async = false;
 };
 
 class GreedyScheduler : public Scheduler {
@@ -70,6 +76,11 @@ class GreedyScheduler : public Scheduler {
   // so call it between runs, not mid-run. No-op when the count is unchanged or when the
   // scheduler runs the recompute path.
   void set_num_shards(size_t num_shards);
+
+  // Switches the incremental engine between the synchronous drivers and the async
+  // per-shard-thread engine. Rebuilds the engine (dropping all cached state), so call it
+  // between runs, not mid-run. No-op when unchanged or on the recompute path.
+  void set_async(bool async);
 
   // The incremental engine (single-shard or sharded), for cache control and stats. Non-null
   // iff options.incremental.
@@ -121,10 +132,11 @@ enum class SchedulerKind {
 std::string SchedulerKindName(SchedulerKind kind);
 
 // Factory covering every algorithm in the evaluation. `num_shards` > 1 runs the greedy
-// policies on the sharded incremental engine (ignored for Optimal).
+// policies on the sharded incremental engine; `async` runs them on the async per-shard
+// thread engine (both ignored for Optimal).
 std::unique_ptr<Scheduler> CreateScheduler(SchedulerKind kind, double eta = 0.05,
                                            PkOptions optimal_options = {},
-                                           size_t num_shards = 1);
+                                           size_t num_shards = 1, bool async = false);
 
 }  // namespace dpack
 

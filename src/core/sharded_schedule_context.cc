@@ -8,10 +8,15 @@ namespace dpack {
 
 ShardedScheduleContext::ShardedScheduleContext(GreedyMetric metric, double eta,
                                                size_t num_shards)
+    : ShardedScheduleContext(metric, eta, num_shards,
+                             /*pool_workers=*/num_shards >= 1 ? num_shards - 1 : 0) {}
+
+ShardedScheduleContext::ShardedScheduleContext(GreedyMetric metric, double eta,
+                                               size_t num_shards, size_t pool_workers)
     : metric_(metric),
       eta_(eta),
       num_shards_(num_shards),
-      pool_(num_shards >= 1 ? num_shards - 1 : 0),
+      pool_(pool_workers),
       shards_(num_shards) {
   DPACK_CHECK(eta_ > 0.0);
   DPACK_CHECK_MSG(num_shards_ >= 1, "ShardedScheduleContext needs at least one shard");
@@ -149,33 +154,41 @@ double ShardedScheduleContext::ScoreTask(const Task& task) const {
   return ScoreGreedyTask(metric_, task, *snapshot_, best_alpha_);
 }
 
+bool ShardedScheduleContext::ScoreOneTask(ShardContext& shard, std::span<const Task> pending,
+                                          size_t i, uint64_t previous_cycle) {
+  const Task& task = pending[i];
+  size_t slot = shard.cache.FindOrInsert(task.id);
+  slot_of_index_[i] = slot;
+  TaskCache& cached = shard.cache.at(slot);
+  if (cached.last_seen == cycle_stamp_) {
+    // Duplicate ids map to the same home shard, so local detection covers the batch.
+    shard.duplicate = true;
+    return false;
+  }
+  bool rescore = ShouldRescore(cached, task, metric_, previous_cycle, dirty_);
+  cached.last_seen = cycle_stamp_;
+  cached.index = i;
+  if (!rescore) {
+    ++shard.partial.tasks_reused;
+    return true;
+  }
+  cached.score = ScoreTask(task);
+  cached.generation = shard.next_generation++;
+  cached.blocks_ptr = task.blocks.data();
+  cached.blocks_len = task.blocks.size();
+  shard.fresh.push_back({cached.score, task.arrival_time, task.id, cached.generation, slot});
+  ++shard.partial.tasks_rescored;
+  return true;
+}
+
 void ShardedScheduleContext::ScoreShardTasks(size_t s, std::span<const Task> pending,
                                              uint64_t previous_cycle) {
   ShardContext& shard = shards_[s];
   shard.slots_moved |= shard.cache.Reserve(shard.task_indices.size());
   for (size_t i : shard.task_indices) {
-    const Task& task = pending[i];
-    size_t slot = shard.cache.FindOrInsert(task.id);
-    slot_of_index_[i] = slot;
-    TaskCache& cached = shard.cache.at(slot);
-    if (cached.last_seen == cycle_stamp_) {
-      // Duplicate ids map to the same home shard, so local detection covers the batch.
-      shard.duplicate = true;
+    if (!ScoreOneTask(shard, pending, i, previous_cycle)) {
       return;
     }
-    bool rescore = ShouldRescore(cached, task, metric_, previous_cycle, dirty_);
-    cached.last_seen = cycle_stamp_;
-    cached.index = i;
-    if (!rescore) {
-      ++shard.partial.tasks_reused;
-      continue;
-    }
-    cached.score = ScoreTask(task);
-    cached.generation = shard.next_generation++;
-    cached.blocks_ptr = task.blocks.data();
-    cached.blocks_len = task.blocks.size();
-    shard.fresh.push_back({cached.score, task.arrival_time, task.id, cached.generation, slot});
-    ++shard.partial.tasks_rescored;
   }
   MergeShardHeap(shard);
 }
@@ -222,6 +235,19 @@ std::vector<size_t> ShardedScheduleContext::AllocateWithMemos(std::span<const Ta
   });
 }
 
+bool ShardedScheduleContext::RunPhases(std::span<const Task> pending,
+                                       const BlockManager& blocks, size_t refresh_limit,
+                                       uint64_t previous_cycle) {
+  // Phase 2: per-shard block refresh (disjoint writes into the shared id-indexed arrays;
+  // the pool join publishes them to the scoring phase).
+  pool_.ParallelFor(num_shards_,
+                    [&](size_t s) { SyncShardBlocks(s, blocks, pending, refresh_limit); });
+  // Phase 3: per-shard score pass and local heap merge.
+  pool_.ParallelFor(num_shards_,
+                    [&](size_t s) { ScoreShardTasks(s, pending, previous_cycle); });
+  return true;
+}
+
 std::vector<size_t> ShardedScheduleContext::ScheduleBatch(std::span<const Task> pending,
                                                           BlockManager& blocks) {
   if (pending.empty()) {
@@ -241,16 +267,9 @@ std::vector<size_t> ShardedScheduleContext::ScheduleBatch(std::span<const Task> 
   size_t refresh_limit = last_version_.size();
   SyncArrivals(blocks);
 
-  // Phase 2: per-shard block refresh (disjoint writes into the shared id-indexed arrays;
-  // the pool join publishes them to the scoring phase).
-  pool_.ParallelFor(num_shards_,
-                    [&](size_t s) { SyncShardBlocks(s, blocks, pending, refresh_limit); });
-  for (size_t g = 0; g < last_version_.size(); ++g) {
-    version_now_[g] = last_version_[g];
-  }
-
   // Partition the batch by home shard, sequentially, so each shard can reserve its cache up
-  // front (no slot moves mid-cycle).
+  // front (no slot moves mid-cycle). Done before the phases fan out: the score pass reads
+  // its shard's task_indices, and the async engine's threads start from them directly.
   for (ShardContext& shard : shards_) {
     shard.task_indices.clear();
     shard.duplicate = false;
@@ -260,21 +279,31 @@ std::vector<size_t> ShardedScheduleContext::ScheduleBatch(std::span<const Task> 
   }
   slot_of_index_.resize(pending.size());
 
-  // Phase 3: per-shard score pass and local heap merge.
-  pool_.ParallelFor(num_shards_,
-                    [&](size_t s) { ScoreShardTasks(s, pending, previous_cycle); });
+  bool phases_ok = RunPhases(pending, blocks, refresh_limit, previous_cycle);
 
   bool duplicate_ids = false;
   for (const ShardContext& shard : shards_) {
     duplicate_ids |= shard.duplicate;
   }
-  if (duplicate_ids) {
-    // Id-keyed caches cannot reproduce the recompute path's tie-breaking between tasks that
-    // share an id; recompute this batch from scratch and start the caches over.
+  if (!phases_ok || duplicate_ids) {
+    // Duplicates: id-keyed caches cannot reproduce the recompute path's tie-breaking
+    // between tasks that share an id. Stale publication (async engine): the cycle's shard
+    // work is untrustworthy. Either way, recompute this batch from scratch and start the
+    // caches over — grants stay exactly the reference sequence.
     Invalidate();
     stats_ = stats_at_entry;
     ++stats_.full_recomputes;
+    stats_.async_stale_publishes += pending_stale_publishes_;
+    stats_.async_wasted_rescores += pending_wasted_rescores_;
+    pending_stale_publishes_ = 0;
+    pending_wasted_rescores_ = 0;
     return RecomputeScheduleBatch(metric_, eta_, pending, blocks);
+  }
+
+  // Mirror the versions contiguously for the allocation walk's memo sums (after the phases:
+  // phase 2 is what advances last_version_).
+  for (size_t g = 0; g < last_version_.size(); ++g) {
+    version_now_[g] = last_version_[g];
   }
 
   MergeOrder();

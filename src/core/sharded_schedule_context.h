@@ -30,8 +30,27 @@
 //      reference sort regardless of shard count or thread timing. The CANRUN walk with
 //      feasibility memos then commits grants, exactly as ScheduleContext's.
 //
+// How phases 2 and 3 are *driven* is an engine property, factored behind the virtual
+// RunPhases hook: this class runs them as two fork-join ParallelFor barriers on a worker
+// pool; AsyncScheduleEngine (src/core/async_schedule_engine.h) overrides RunPhases to run
+// both phases on persistent per-shard scheduler threads under a publish/quiesce protocol.
+// Everything the grant sequence depends on — the phase *bodies* (SyncShardBlocks,
+// ScoreOneTask, MergeShardHeap) and the sequential merge + walk — is shared, single-
+// definition code, which is what keeps every driver's grants byte-identical.
+//
+// The cross-phase visibility contract RunPhases implementations must provide:
+//   - Phase 2 writes only shard-owned entries of the shared id-indexed arrays (snapshot
+//     curves, dirty flags, last_version_, member signatures, best alphas).
+//   - Phase 3's score pass for shard s may read *any* shard's phase-2 state, so every
+//     shard's phase-2 writes must happen-before every shard's phase-3 reads (the pool join
+//     here; the refresh fence in the async engine).
+//   - All shard state must happen-before ScheduleBatch's sequential tail (merge + walk);
+//     RunPhases returning is that publication point.
+//
 // Batches with duplicate task ids fall back to RecomputeScheduleBatch (duplicates land in
 // the same home shard, so each shard detects them locally, like the single-shard engine).
+// RunPhases may also return false — the async engine's stale-publication escape hatch — in
+// which case the cycle falls back to the recompute reference the same way.
 
 #ifndef SRC_CORE_SHARDED_SCHEDULE_CONTEXT_H_
 #define SRC_CORE_SHARDED_SCHEDULE_CONTEXT_H_
@@ -70,7 +89,11 @@ class ShardedScheduleContext : public ScheduleEngine {
   const ScheduleContextStats& stats() const override { return stats_; }
   size_t num_shards() const override { return num_shards_; }
 
- private:
+ protected:
+  // Subclass constructor: `pool_workers` is the worker-pool thread count (the async engine
+  // passes 0 — it brings its own per-shard threads and never touches the pool).
+  ShardedScheduleContext(GreedyMetric metric, double eta, size_t num_shards,
+                         size_t pool_workers);
   // One shard's slice of the engine: the task-side ScheduleContext state for its home tasks
   // plus scratch for its owned blocks' best-alpha subproblems. Counters accumulate into the
   // engine-wide ScheduleContextStats after every cycle.
@@ -91,6 +114,14 @@ class ShardedScheduleContext : public ScheduleEngine {
     return static_cast<size_t>(static_cast<uint64_t>(id) % num_shards_);
   }
 
+  // Runs phases 2 and 3 for every shard, upholding the cross-phase visibility contract in
+  // the file comment. Returns false to abandon the cycle (all shard-side work discarded,
+  // batch recomputed from scratch) — used by the async engine when a published snapshot
+  // fails quiesce validation. The base implementation (two fork-join barriers on the
+  // worker pool) always returns true.
+  virtual bool RunPhases(std::span<const Task> pending, const BlockManager& blocks,
+                         size_t refresh_limit, uint64_t previous_cycle);
+
   void BindManager(BlockManager& blocks);
   // Phase 1: absorb arrivals into the partition and the snapshot (sequential).
   void SyncArrivals(BlockManager& blocks);
@@ -99,6 +130,12 @@ class ShardedScheduleContext : public ScheduleEngine {
                        size_t refresh_limit);
   // Phase 3 body for one shard: score pass over home tasks, then the local heap merge.
   void ScoreShardTasks(size_t s, std::span<const Task> pending, uint64_t previous_cycle);
+  // One task of the score pass: the reuse-vs-rescore decision, cache update, and fresh-heap
+  // append. Returns false when the task's id was already seen this cycle (duplicate batch:
+  // the caller must stop and let ScheduleBatch fall back). `i` must be a home task of
+  // `shard`; requires a prior cache Reserve covering the cycle's inserts.
+  bool ScoreOneTask(ShardContext& shard, std::span<const Task> pending, size_t i,
+                    uint64_t previous_cycle);
   void MergeShardHeap(ShardContext& shard);
   double ScoreTask(const Task& task) const;
   // Phase 4: deterministic N-way merge into order_, then the memoized CANRUN walk.
@@ -131,6 +168,12 @@ class ShardedScheduleContext : public ScheduleEngine {
   std::vector<size_t> slot_of_index_;  // Home-shard cache slot per batch index, per cycle.
   std::vector<size_t> order_;          // Merged allocation order (batch indices).
   std::vector<size_t> cursor_;         // Per-shard merge cursors (scratch).
+
+  // Set by a RunPhases override that returns false (stale publication): how many shard
+  // publications failed quiesce validation, and how many rescores that discarded.
+  // ScheduleBatch folds them into stats_ on the fallback path and resets them.
+  uint64_t pending_stale_publishes_ = 0;
+  uint64_t pending_wasted_rescores_ = 0;
 };
 
 }  // namespace dpack

@@ -58,6 +58,7 @@
 #include "src/common/log.h"
 #include "src/common/rng.h"
 #include "src/common/stats.h"
+#include "src/core/async_schedule_engine.h"
 #include "src/core/compute_aware.h"
 #include "src/core/efficiency.h"
 #include "src/core/fairness.h"

@@ -18,20 +18,6 @@ AlphaGridPtr GridOrDefault(const OrchestratorConfig& config) {
   return config.grid != nullptr ? config.grid : AlphaGrid::Default();
 }
 
-// Engine counters are monotonic over the scheduler's lifetime, and the scheduler survives
-// across runs; subtracting the run-entry snapshot yields this run's counters alone.
-ScheduleContextStats StatsDelta(const ScheduleContextStats& now,
-                                const ScheduleContextStats& before) {
-  ScheduleContextStats delta = now;
-  delta.cycles -= before.cycles;
-  delta.tasks_rescored -= before.tasks_rescored;
-  delta.tasks_reused -= before.tasks_reused;
-  delta.blocks_refreshed -= before.blocks_refreshed;
-  delta.best_alpha_recomputes -= before.best_alpha_recomputes;
-  delta.full_recomputes -= before.full_recomputes;
-  return delta;
-}
-
 }  // namespace
 
 ClusterOrchestrator::ClusterOrchestrator(std::unique_ptr<Scheduler> scheduler,
@@ -57,6 +43,7 @@ OrchestratorRunResult ClusterOrchestrator::RunOfflinePass(std::vector<Task> task
   online_config.period = config_.period;
   online_config.unlock_steps = 1;  // Offline: everything unlocked.
   online_config.num_shards = config_.num_shards;
+  online_config.async = config_.async;
   OnlineScheduler online(std::move(scheduler_), &blocks, online_config);
   ScheduleContextStats stats_at_entry;
   if (const ScheduleContextStats* stats = online.context_stats()) {
@@ -81,7 +68,7 @@ OrchestratorRunResult ClusterOrchestrator::RunOfflinePass(std::vector<Task> task
   result.metrics = online.metrics();
   result.metrics.RecordCycleRuntime(pass_seconds);  // Full pass incl. store traffic.
   if (const ScheduleContextStats* stats = online.context_stats()) {
-    result.scheduler_stats = StatsDelta(*stats, stats_at_entry);
+    result.scheduler_stats = stats->Delta(stats_at_entry);
   }
   result.store_operations = store.operations();
   result.wall_seconds =
@@ -106,6 +93,7 @@ OrchestratorRunResult ClusterOrchestrator::RunOnline(std::vector<Task> tasks) {
   online_config.period = config_.period;
   online_config.unlock_steps = config_.unlock_steps;
   online_config.num_shards = config_.num_shards;
+  online_config.async = config_.async;
   OnlineScheduler online(std::move(scheduler_), &blocks, online_config);
   ScheduleContextStats stats_at_entry;
   if (const ScheduleContextStats* stats = online.context_stats()) {
@@ -199,7 +187,7 @@ OrchestratorRunResult ClusterOrchestrator::RunOnline(std::vector<Task> tasks) {
   OrchestratorRunResult result;
   result.metrics = online.metrics();
   if (const ScheduleContextStats* stats = online.context_stats()) {
-    result.scheduler_stats = StatsDelta(*stats, stats_at_entry);
+    result.scheduler_stats = stats->Delta(stats_at_entry);
   }
   result.store_operations = store.operations();
   result.wall_seconds =

@@ -30,6 +30,7 @@ SimResult RunOnlineSimulation(std::unique_ptr<Scheduler> scheduler, std::vector<
   online_config.unlock_steps = config.unlock_steps;
   online_config.fair_share_n = config.fair_share_n;
   online_config.num_shards = config.num_shards;
+  online_config.async = config.async;
   OnlineScheduler online(std::move(scheduler), &blocks, online_config);
 
   Simulation sim;

@@ -36,6 +36,9 @@ struct SimConfig {
   // When > 0 and the scheduler is a GreedyScheduler, reshard its incremental engine
   // (parallel scoring across this many block/task shards); 0 leaves it as constructed.
   size_t num_shards = 0;
+  // When set and the scheduler is a GreedyScheduler, run its incremental engine on the
+  // async per-shard scheduler threads (same grants; see src/core/async_schedule_engine.h).
+  bool async = false;
 };
 
 struct SimResult {

@@ -1,0 +1,192 @@
+// Soak test for AsyncScheduleEngine's thread lifecycle and publication protocol: randomized
+// online traces that keep starting and stopping engines mid-trace (fresh thread spawn +
+// join against live state), invalidating caches, evicting tasks and *requeueing* them later
+// under the same id, while asserting every cycle's grants stay byte-identical to the
+// recompute reference. Run under the TSan CI leg with `--repeat until-fail:3` to shake out
+// schedule-dependent races (thread interleavings differ per run; the grant sequence must
+// not).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/block/block_manager.h"
+#include "src/common/rng.h"
+#include "src/core/scheduler.h"
+#include "src/workload/curve_pool.h"
+
+namespace dpack {
+namespace {
+
+constexpr double kEpsG = 10.0;
+constexpr double kDeltaG = 1e-7;
+
+struct SoakOptions {
+  uint64_t seed = 1;
+  GreedyMetric metric = GreedyMetric::kDpack;
+  size_t num_shards = 4;
+  size_t cycles = 30;
+  size_t initial_blocks = 3;
+  size_t online_blocks = 12;
+  double max_tasks_per_cycle = 5.0;
+  double evict_probability = 0.25;   // Per-cycle chance of parking one pending task.
+  double requeue_probability = 0.5;  // Per-cycle chance of re-submitting a parked task.
+  double restart_probability = 0.1;  // Per-cycle chance of tearing the engine down.
+  double invalidate_probability = 0.1;  // Per-cycle chance of dropping the caches.
+};
+
+std::unique_ptr<GreedyScheduler> MakeAsyncScheduler(const SoakOptions& options) {
+  return std::make_unique<GreedyScheduler>(
+      options.metric, GreedySchedulerOptions{.eta = 0.05,
+                                             .incremental = true,
+                                             .num_shards = options.num_shards,
+                                             .async = true});
+}
+
+void RunSoakTrace(const SoakOptions& options) {
+  AlphaGridPtr grid = AlphaGrid::Default();
+  GreedyScheduler recompute(options.metric,
+                            GreedySchedulerOptions{.eta = 0.05, .incremental = false});
+  BlockManager rec_blocks(grid, kEpsG, kDeltaG);
+  std::unique_ptr<GreedyScheduler> engine = MakeAsyncScheduler(options);
+  BlockManager eng_blocks(grid, kEpsG, kDeltaG);
+  for (size_t b = 0; b < options.initial_blocks; ++b) {
+    rec_blocks.AddBlock(0.0, /*unlocked=*/true);
+    eng_blocks.AddBlock(0.0, /*unlocked=*/true);
+  }
+
+  Rng rng(options.seed);
+  RdpCurve capacity = BlockCapacityCurve(grid, kEpsG, kDeltaG);
+  std::vector<Task> pending;
+  std::vector<Task> parked;  // Evicted tasks awaiting requeue (same id, same blocks).
+  TaskId next_id = 0;
+  size_t restarts = 0;
+
+  for (size_t cycle = 0; cycle < options.cycles; ++cycle) {
+    double now = static_cast<double>(cycle);
+    if (cycle > 0 && cycle <= options.online_blocks) {
+      rec_blocks.AddBlock(now);
+      eng_blocks.AddBlock(now);
+    }
+    rec_blocks.UpdateUnlocks(now, 1.0, /*unlock_steps=*/8);
+    eng_blocks.UpdateUnlocks(now, 1.0, /*unlock_steps=*/8);
+
+    // Stop/start: tear the engine's shard threads down mid-trace and spawn a fresh engine
+    // against the same (live) manager. A cold cache must still reproduce the reference.
+    if (rng.Bernoulli(options.restart_probability)) {
+      engine = MakeAsyncScheduler(options);
+      ++restarts;
+    } else if (rng.Bernoulli(options.invalidate_probability)) {
+      ASSERT_NE(engine->engine(), nullptr);
+      engine->engine()->Invalidate();
+    }
+
+    // Eviction (timeout stand-in): park one random pending task without any commit.
+    if (!pending.empty() && rng.Bernoulli(options.evict_probability)) {
+      size_t victim = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(pending.size()) - 1));
+      parked.push_back(std::move(pending[victim]));
+      pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(victim));
+    }
+    // Requeue: a parked task re-enters the queue under its original id and block list.
+    if (!parked.empty() && rng.Bernoulli(options.requeue_probability)) {
+      size_t idx = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(parked.size()) - 1));
+      pending.push_back(std::move(parked[idx]));
+      parked.erase(parked.begin() + static_cast<std::ptrdiff_t>(idx));
+    }
+
+    // New arrivals over random block subsets.
+    int64_t arrivals = rng.UniformInt(0, static_cast<int64_t>(options.max_tasks_per_cycle));
+    for (int64_t k = 0; k < arrivals; ++k) {
+      Task task(next_id++, rng.Uniform(0.5, 4.0), capacity.Scaled(rng.Uniform(0.02, 0.4)));
+      task.arrival_time = now;
+      size_t count = static_cast<size_t>(rng.UniformInt(
+          1, std::min<int64_t>(4, static_cast<int64_t>(rec_blocks.block_count()))));
+      for (size_t idx : rng.SampleWithoutReplacement(rec_blocks.block_count(), count)) {
+        task.blocks.push_back(static_cast<BlockId>(idx));
+      }
+      pending.push_back(std::move(task));
+    }
+
+    std::vector<size_t> rec_granted = recompute.ScheduleBatch(pending, rec_blocks);
+    std::vector<size_t> granted = engine->ScheduleBatch(pending, eng_blocks);
+    ASSERT_EQ(granted, rec_granted)
+        << "metric=" << static_cast<int>(options.metric) << " seed=" << options.seed
+        << " cycle=" << cycle << " shards=" << options.num_shards
+        << " restarts=" << restarts;
+
+    std::vector<bool> taken(pending.size(), false);
+    for (size_t idx : rec_granted) {
+      taken[idx] = true;
+    }
+    std::vector<Task> rest;
+    rest.reserve(pending.size());
+    for (size_t i = 0; i < pending.size(); ++i) {
+      if (!taken[i]) {
+        rest.push_back(std::move(pending[i]));
+      }
+    }
+    pending = std::move(rest);
+  }
+
+  // Both managers consumed bit-identical budget, and the engine never tripped quiesce.
+  ASSERT_EQ(eng_blocks.block_count(), rec_blocks.block_count());
+  for (size_t j = 0; j < rec_blocks.block_count(); ++j) {
+    const RdpCurve& a = eng_blocks.block(static_cast<BlockId>(j)).consumed();
+    const RdpCurve& b = rec_blocks.block(static_cast<BlockId>(j)).consumed();
+    for (size_t alpha = 0; alpha < a.size(); ++alpha) {
+      ASSERT_EQ(a.epsilon(alpha), b.epsilon(alpha)) << "block " << j << " order " << alpha;
+    }
+  }
+  ASSERT_NE(engine->engine(), nullptr);
+  EXPECT_EQ(engine->engine()->stats().async_stale_publishes, 0u);
+  EXPECT_EQ(engine->engine()->stats().full_recomputes, 0u);
+}
+
+class AsyncEngineSoakTest : public testing::TestWithParam<GreedyMetric> {};
+
+TEST_P(AsyncEngineSoakTest, StartStopRequeueTraces) {
+  for (uint64_t seed : {3u, 19u}) {
+    SoakOptions options;
+    options.metric = GetParam();
+    options.seed = seed;
+    // Vary the thread count with the seed, including a count that divides nothing evenly.
+    options.num_shards = seed % 2 == 1 ? 5 : 3;
+    RunSoakTrace(options);
+  }
+}
+
+TEST_P(AsyncEngineSoakTest, SingleShardAsync) {
+  // One persistent scheduler thread (the degenerate fence): lifecycle churn must still be
+  // race-free and reference-identical.
+  SoakOptions options;
+  options.metric = GetParam();
+  options.seed = 11;
+  options.num_shards = 1;
+  options.restart_probability = 0.2;
+  RunSoakTrace(options);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllScoredMetrics, AsyncEngineSoakTest,
+                         testing::Values(GreedyMetric::kDpack, GreedyMetric::kDpf,
+                                         GreedyMetric::kArea),
+                         [](const testing::TestParamInfo<GreedyMetric>& info) {
+                           switch (info.param) {
+                             case GreedyMetric::kDpack:
+                               return "DPack";
+                             case GreedyMetric::kDpf:
+                               return "DPF";
+                             case GreedyMetric::kArea:
+                               return "Area";
+                             case GreedyMetric::kFcfs:
+                               break;
+                           }
+                           return "unknown";
+                         });
+
+}  // namespace
+}  // namespace dpack

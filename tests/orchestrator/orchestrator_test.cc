@@ -146,11 +146,12 @@ TEST(OrchestratorOnlineTest, ZeroOnlineBlocksRunsOnOfflineBlocksOnly) {
 }
 
 TEST(OrchestratorOnlineTest, ShardedSchedulerMatchesMonolithic) {
-  // The num_shards knob flows through the orchestrator into the scheduler's engine, and the
-  // sharded engine allocates exactly what the single-shard engine does.
-  auto run = [](size_t num_shards) {
+  // The num_shards/async knobs flow through the orchestrator into the scheduler's engine,
+  // and the sharded and async engines allocate exactly what the single-shard engine does.
+  auto run = [](size_t num_shards, bool async) {
     OrchestratorConfig config = FastConfig();
     config.num_shards = num_shards;
+    config.async = async;
     std::vector<Task> tasks;
     for (int i = 0; i < 20; ++i) {
       tasks.push_back(FractionTask(i, 0.03, 2, static_cast<double>(i % 3)));
@@ -158,12 +159,19 @@ TEST(OrchestratorOnlineTest, ShardedSchedulerMatchesMonolithic) {
     ClusterOrchestrator orchestrator(CreateScheduler(SchedulerKind::kDpack), config);
     return orchestrator.RunOnline(std::move(tasks));
   };
-  OrchestratorRunResult mono = run(0);
-  OrchestratorRunResult sharded = run(3);
+  OrchestratorRunResult mono = run(0, false);
+  OrchestratorRunResult sharded = run(3, false);
+  OrchestratorRunResult async = run(3, true);
   EXPECT_EQ(sharded.metrics.allocated(), mono.metrics.allocated());
   EXPECT_EQ(sharded.metrics.allocated_weight(), mono.metrics.allocated_weight());
   EXPECT_EQ(sharded.scheduler_stats.shards, 3u);
   EXPECT_EQ(mono.scheduler_stats.shards, 1u);
+  EXPECT_EQ(async.metrics.allocated(), mono.metrics.allocated());
+  EXPECT_EQ(async.metrics.allocated_weight(), mono.metrics.allocated_weight());
+  EXPECT_EQ(async.scheduler_stats.shards, 3u);
+  // Run-scoped deltas stay clean: the async run never tripped quiesce or fell back.
+  EXPECT_EQ(async.scheduler_stats.async_stale_publishes, 0u);
+  EXPECT_EQ(async.scheduler_stats.full_recomputes, 0u);
 }
 
 TEST(OrchestratorOnlineTest, DpackAllocatesAtLeastAsMuchAsDpfUnderContention) {
