@@ -13,9 +13,10 @@ they are noise on shared runners.
 A counter regresses when it drifts more than TOLERANCE (25%) from the baseline in either
 direction: more work per cycle means the incremental engine lost reuse; much less usually
 means a benchmark stopped exercising what it claims to. A baseline benchmark missing from
-the current run also fails (coverage loss). Benchmarks that only exist in the current run
-are reported but pass — regenerate the baseline (scripts/update_bench_baseline.sh) to start
-tracking them.
+the current run also fails (coverage loss), and so does any current counter with no entry
+in the baseline ("missing baseline key"): an untracked counter is a gate with a hole in
+it, so new benchmarks/counters must land together with a regenerated baseline
+(scripts/update_bench_baseline.sh).
 """
 
 import json
@@ -65,6 +66,10 @@ def main(argv):
             failures.append(f"{name}: present in baseline but missing from the current run")
             continue
         cur_counters = counters(cur_entry)
+        for key in sorted(set(cur_counters) - set(base_counters)):
+            failures.append(
+                f"{name}: missing baseline key {key} (counter exists in the current run "
+                f"but not in the baseline; run scripts/update_bench_baseline.sh)")
         for key, base_value in sorted(base_counters.items()):
             if key not in cur_counters:
                 failures.append(f"{name}: counter {key} missing from the current run")
@@ -87,8 +92,10 @@ def main(argv):
 
     for name in sorted(set(current) - set(baseline)):
         if counters(current[name]):
-            print(f"       new  {name} (not in baseline; run "
-                  f"scripts/update_bench_baseline.sh to track it)")
+            failures.append(
+                f"{name}: missing baseline key (benchmark has counters but no baseline "
+                f"entry; run scripts/update_bench_baseline.sh)")
+            print(f"   MISSING  {name} (counters present but no baseline entry)")
 
     print(f"\n{compared} counters compared against {argv[1]}")
     if failures:

@@ -60,6 +60,21 @@ BlockManager BlockManager::Clone() const {
   return copy;
 }
 
+BlockManager BlockManager::Restore(AlphaGridPtr grid, double eps_g, double delta_g,
+                                   uint64_t epoch, std::vector<PrivacyBlock> blocks) {
+  DPACK_CHECK_MSG(epoch == blocks.size(), "restore epoch must equal the block count");
+  BlockManager manager(std::move(grid), eps_g, delta_g);
+  manager.epoch_ = epoch;
+  manager.blocks_.reserve(blocks.size());
+  for (PrivacyBlock& block : blocks) {
+    DPACK_CHECK_MSG(block.id() == static_cast<BlockId>(manager.blocks_.size()),
+                    "restore block ids must be dense and ordered");
+    DPACK_CHECK_MSG(SameGrid(block.grid(), manager.grid_), "restore block grid mismatch");
+    manager.blocks_.push_back(std::make_unique<PrivacyBlock>(std::move(block)));
+  }
+  return manager;
+}
+
 void BlockManager::UpdateUnlocks(double now, double period, int64_t unlock_steps) {
   DPACK_CHECK(period > 0.0);
   DPACK_CHECK(unlock_steps >= 1);

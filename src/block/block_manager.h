@@ -52,6 +52,14 @@ class BlockManager {
   // Used by schedulers that need to trial-run allocation without committing budget.
   BlockManager Clone() const;
 
+  // Rebuilds a manager from checkpointed state (see src/orchestrator/checkpoint.h):
+  // `blocks` must carry dense ids 0..n-1 in order, on `grid`, and `epoch` must equal the
+  // block count (the epoch only ever advances on AddBlock*). The result is byte-identical
+  // to the captured manager — including the epoch and every block's version — so change
+  // signals observed against the restored manager compare exactly like the original's.
+  static BlockManager Restore(AlphaGridPtr grid, double eps_g, double delta_g,
+                              uint64_t epoch, std::vector<PrivacyBlock> blocks);
+
  private:
   AlphaGridPtr grid_;
   double eps_g_;

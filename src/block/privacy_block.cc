@@ -1,6 +1,7 @@
 #include "src/block/privacy_block.h"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 
 #include "src/common/check.h"
@@ -21,6 +22,20 @@ PrivacyBlock::PrivacyBlock(BlockId id, const AlphaGridPtr& grid, double eps_g, d
                            double arrival_time, double initial_unlocked)
     : PrivacyBlock(id, BlockCapacityCurve(grid, eps_g, delta_g), arrival_time,
                    initial_unlocked) {}
+
+PrivacyBlock PrivacyBlock::Restore(BlockId id, RdpCurve capacity, double arrival_time,
+                                   double unlocked_fraction, RdpCurve consumed,
+                                   uint64_t version) {
+  DPACK_CHECK_MSG(SameGrid(consumed.grid(), capacity.grid()), "restore grid mismatch");
+  for (size_t i = 0; i < consumed.size(); ++i) {
+    double eps = consumed.epsilon(i);
+    DPACK_CHECK_MSG(eps >= 0.0 && !std::isnan(eps), "restore consumed out of range");
+  }
+  PrivacyBlock block(id, std::move(capacity), arrival_time, unlocked_fraction);
+  block.consumed_ = std::move(consumed);
+  block.version_ = version;
+  return block;
+}
 
 void PrivacyBlock::SetUnlockedFraction(double fraction) {
   DPACK_CHECK(fraction >= 0.0 && fraction <= 1.0);

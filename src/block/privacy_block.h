@@ -35,6 +35,14 @@ class PrivacyBlock {
   PrivacyBlock(BlockId id, const AlphaGridPtr& grid, double eps_g, double delta_g,
                double arrival_time, double initial_unlocked = 1.0);
 
+  // Rebuilds a block from checkpointed state, byte-identically: the consumed curve and the
+  // monotonic version counter are restored exactly as captured, so a restored manager's
+  // change-detection clocks stay comparable with the uninterrupted run's. Requires
+  // `consumed` on the capacity's grid with non-negative, non-NaN entries (checkpoint
+  // restore validates structure before calling; these checks are the last line of defense).
+  static PrivacyBlock Restore(BlockId id, RdpCurve capacity, double arrival_time,
+                              double unlocked_fraction, RdpCurve consumed, uint64_t version);
+
   BlockId id() const { return id_; }
   double arrival_time() const { return arrival_time_; }
   const AlphaGridPtr& grid() const { return capacity_.grid(); }

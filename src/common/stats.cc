@@ -22,6 +22,21 @@ void RunningStat::Add(double x) {
   m2_ += delta * (x - mean_);
 }
 
+RunningStat::State RunningStat::state() const {
+  return State{count_, mean_, m2_, min_, max_, sum_};
+}
+
+RunningStat RunningStat::FromState(const State& state) {
+  RunningStat stat;
+  stat.count_ = state.count;
+  stat.mean_ = state.mean;
+  stat.m2_ = state.m2;
+  stat.min_ = state.min;
+  stat.max_ = state.max;
+  stat.sum_ = state.sum;
+  return stat;
+}
+
 double RunningStat::variance() const {
   if (count_ < 2) {
     return 0.0;

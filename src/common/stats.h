@@ -12,7 +12,22 @@ namespace dpack {
 // Constant-memory accumulator for mean/variance/min/max (Welford's algorithm).
 class RunningStat {
  public:
+  // The accumulator's full internal state, exposed for checkpointing: Welford updates are
+  // order-sensitive, so replaying samples cannot reproduce the accumulator bit-exactly —
+  // only restoring these fields can.
+  struct State {
+    size_t count = 0;
+    double mean = 0.0;
+    double m2 = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double sum = 0.0;
+  };
+
   void Add(double x);
+
+  State state() const;
+  static RunningStat FromState(const State& state);
 
   size_t count() const { return count_; }
   double mean() const { return count_ == 0 ? 0.0 : mean_; }

@@ -4,6 +4,29 @@
 
 namespace dpack {
 
+AllocationMetrics AllocationMetrics::Restore(size_t submitted, size_t allocated,
+                                             size_t evicted, double submitted_weight,
+                                             double allocated_weight,
+                                             size_t submitted_fair_share,
+                                             size_t allocated_fair_share,
+                                             std::span<const double> delay_samples,
+                                             const RunningStat::State& cycle_runtime) {
+  AllocationMetrics metrics;
+  metrics.submitted_ = submitted;
+  metrics.allocated_ = allocated;
+  metrics.evicted_ = evicted;
+  metrics.submitted_weight_ = submitted_weight;
+  metrics.allocated_weight_ = allocated_weight;
+  metrics.submitted_fair_share_ = submitted_fair_share;
+  metrics.allocated_fair_share_ = allocated_fair_share;
+  metrics.delays_.Reserve(delay_samples.size());
+  for (double delay : delay_samples) {
+    metrics.delays_.Add(delay);
+  }
+  metrics.cycle_runtime_seconds_ = RunningStat::FromState(cycle_runtime);
+  return metrics;
+}
+
 void AllocationMetrics::RecordSubmission(double weight, bool fair_share) {
   ++submitted_;
   submitted_weight_ += weight;

@@ -5,6 +5,7 @@
 #define SRC_CORE_METRICS_H_
 
 #include <cstddef>
+#include <span>
 #include <string>
 
 #include "src/common/stats.h"
@@ -13,6 +14,16 @@ namespace dpack {
 
 class AllocationMetrics {
  public:
+  // Rebuilds a metrics accumulator from checkpointed state (see
+  // src/orchestrator/checkpoint.h). `delay_samples` are re-added in the given order, so a
+  // capture taken before any quantile query (which sorts the sample set in place) restores
+  // the delays byte-identically; the cycle-runtime accumulator is restored field-exact.
+  static AllocationMetrics Restore(size_t submitted, size_t allocated, size_t evicted,
+                                   double submitted_weight, double allocated_weight,
+                                   size_t submitted_fair_share, size_t allocated_fair_share,
+                                   std::span<const double> delay_samples,
+                                   const RunningStat::State& cycle_runtime);
+
   void RecordSubmission(double weight, bool fair_share);
   // `delay` is allocation time minus arrival time, in virtual time units.
   void RecordAllocation(double weight, double delay, bool fair_share);

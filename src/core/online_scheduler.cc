@@ -36,6 +36,19 @@ const ScheduleContextStats* OnlineScheduler::context_stats() const {
   return &greedy->engine()->stats();
 }
 
+void OnlineScheduler::RestoreState(std::vector<Task> pending, AllocationMetrics metrics) {
+  DPACK_CHECK_MSG(pending_.empty() && metrics_.submitted() == 0,
+                  "RestoreState requires a fresh driver");
+  for (const Task& task : pending) {
+    for (BlockId id : task.blocks) {
+      DPACK_CHECK_MSG(id >= 0 && static_cast<size_t>(id) < blocks_->block_count(),
+                      "restored pending task references an unknown block");
+    }
+  }
+  pending_ = std::move(pending);
+  metrics_ = std::move(metrics);
+}
+
 std::unique_ptr<Scheduler> OnlineScheduler::ReleaseInner() {
   if (auto* greedy = dynamic_cast<GreedyScheduler*>(inner_.get())) {
     if (greedy->engine() != nullptr) {
@@ -87,12 +100,14 @@ size_t OnlineScheduler::RunCycle(double now) {
   metrics_.RecordCycleRuntime(seconds);
 
   // Record grants and drop them from the queue (preserving arrival order of the rest).
+  last_granted_.clear();
   std::vector<bool> taken(pending_.size(), false);
   for (size_t idx : granted) {
     taken[idx] = true;
     const Task& task = pending_[idx];
     bool fair = IsFairShareTask(task, *blocks_, config_.fair_share_n);
     metrics_.RecordAllocation(task.weight, now - task.arrival_time, fair);
+    last_granted_.push_back(task.id);
   }
   std::vector<Task> rest;
   rest.reserve(pending_.size() - granted.size());

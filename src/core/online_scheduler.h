@@ -57,6 +57,11 @@ class OnlineScheduler {
   size_t RunCycle(double now);
 
   size_t pending_count() const { return pending_.size(); }
+  // The pending queue in arrival (submission) order — read by the checkpoint subsystem.
+  const std::vector<Task>& pending() const { return pending_; }
+  // Ids of the tasks granted by the most recent RunCycle, in grant order. Cleared and
+  // refilled every cycle; used to trace grant sequences for the recovery proofs.
+  const std::vector<TaskId>& last_granted() const { return last_granted_; }
   const AllocationMetrics& metrics() const { return metrics_; }
   Scheduler& inner() { return *inner_; }
   const OnlineSchedulerConfig& config() const { return config_; }
@@ -70,6 +75,12 @@ class OnlineScheduler {
   // this driver's block manager. The driver must not be used after this call.
   std::unique_ptr<Scheduler> ReleaseInner();
 
+  // Seeds the driver from checkpointed state: replaces the pending queue (in its captured
+  // arrival order) and the cumulative metrics. Must run before any Submit/RunCycle on this
+  // instance; the block manager passed at construction must hold the matching restored
+  // block state (the queue references its block ids).
+  void RestoreState(std::vector<Task> pending, AllocationMetrics metrics);
+
  private:
   void ResolveBlocks(Task& task);
 
@@ -77,6 +88,7 @@ class OnlineScheduler {
   BlockManager* blocks_;
   OnlineSchedulerConfig config_;
   std::vector<Task> pending_;
+  std::vector<TaskId> last_granted_;
   AllocationMetrics metrics_;
 };
 

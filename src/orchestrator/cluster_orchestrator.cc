@@ -81,12 +81,38 @@ OrchestratorRunResult ClusterOrchestrator::RunOfflinePass(std::vector<Task> task
 }
 
 OrchestratorRunResult ClusterOrchestrator::RunOnline(std::vector<Task> tasks) {
+  return RunOnlineInternal(nullptr, std::move(tasks));
+}
+
+OrchestratorRunResult ClusterOrchestrator::ResumeFrom(const ClusterSnapshot& snapshot,
+                                                      std::vector<Task> tasks) {
+  std::string validation = ValidateSnapshot(snapshot);
+  DPACK_CHECK_MSG(validation.empty(), "ResumeFrom on an invalid snapshot: " << validation);
+  DPACK_CHECK_MSG(snapshot.meta.period == config_.period &&
+                      snapshot.meta.unlock_steps == config_.unlock_steps &&
+                      snapshot.eps_g == config_.eps_g && snapshot.delta_g == config_.delta_g,
+                  "ResumeFrom config does not match the snapshot's");
+  DPACK_CHECK_MSG(snapshot.blocks.size() >= config_.offline_blocks &&
+                      snapshot.blocks.size() <=
+                          config_.offline_blocks + config_.online_blocks,
+                  "snapshot block count outside this orchestrator's arrival process");
+  return RunOnlineInternal(&snapshot, std::move(tasks));
+}
+
+OrchestratorRunResult ClusterOrchestrator::RunOnlineInternal(const ClusterSnapshot* snapshot,
+                                                             std::vector<Task> tasks) {
   DPACK_CHECK_MSG(scheduler_ != nullptr, "orchestrator scheduler missing (mid-run reentry?)");
   auto run_start = std::chrono::steady_clock::now();
   SimulatedStateStore store(config_.store_latency_us);
-  BlockManager blocks(GridOrDefault(config_), config_.eps_g, config_.delta_g);
-  for (size_t b = 0; b < config_.offline_blocks; ++b) {
-    blocks.AddBlock(0.0, /*unlocked=*/true);
+  double start_virtual = snapshot != nullptr ? snapshot->meta.checkpoint_time : 0.0;
+  AlphaGridPtr grid = GridOrDefault(config_);
+  BlockManager blocks = snapshot != nullptr
+                            ? RestoreBlockManager(*snapshot, grid)
+                            : BlockManager(grid, config_.eps_g, config_.delta_g);
+  if (snapshot == nullptr) {
+    for (size_t b = 0; b < config_.offline_blocks; ++b) {
+      blocks.AddBlock(0.0, /*unlocked=*/true);
+    }
   }
 
   OnlineSchedulerConfig online_config;
@@ -95,6 +121,10 @@ OrchestratorRunResult ClusterOrchestrator::RunOnline(std::vector<Task> tasks) {
   online_config.num_shards = config_.num_shards;
   online_config.async = config_.async;
   OnlineScheduler online(std::move(scheduler_), &blocks, online_config);
+  if (snapshot != nullptr) {
+    online.RestoreState(RestorePendingTasks(*snapshot, grid),
+                        RestoreMetrics(snapshot->metrics));
+  }
   ScheduleContextStats stats_at_entry;
   if (const ScheduleContextStats* stats = online.context_stats()) {
     stats_at_entry = *stats;
@@ -104,11 +134,20 @@ OrchestratorRunResult ClusterOrchestrator::RunOnline(std::vector<Task> tasks) {
   for (const Task& task : tasks) {
     last_arrival = std::max(last_arrival, task.arrival_time);
   }
+  if (snapshot != nullptr) {
+    // Claims at or before the checkpoint are the store's responsibility (granted, queued
+    // in the snapshot, or lost in flight); only later arrivals are replayed. The horizon
+    // still derives from the full workload, matching the original run's.
+    auto kept = std::remove_if(tasks.begin(), tasks.end(), [&](const Task& task) {
+      return task.arrival_time <= start_virtual;
+    });
+    tasks.erase(kept, tasks.end());
+  }
   double online_span = static_cast<double>(config_.online_blocks);
   double end_virtual = std::max(last_arrival, online_span) +
                        config_.period * static_cast<double>(config_.unlock_steps + 1);
 
-  std::atomic<double> clock{0.0};
+  std::atomic<double> clock{start_virtual};
   std::atomic<bool> producer_done{false};
   std::atomic<bool> stop{false};
 
@@ -117,7 +156,9 @@ OrchestratorRunResult ClusterOrchestrator::RunOnline(std::vector<Task> tasks) {
   // scheduler thread.
   std::mutex mu;
   std::vector<Task> submission_queue;
-  size_t blocks_released = 0;  // Online blocks whose arrival time has passed.
+  size_t blocks_added =  // Online blocks already materialized (restored from the snapshot).
+      snapshot != nullptr ? snapshot->blocks.size() - config_.offline_blocks : 0;
+  size_t blocks_released = blocks_added;  // Online blocks whose arrival time has passed.
 
   std::thread timekeeper([&] {
     auto unit = std::chrono::duration<double, std::milli>(config_.virtual_unit_wall_ms);
@@ -126,8 +167,9 @@ OrchestratorRunResult ClusterOrchestrator::RunOnline(std::vector<Task> tasks) {
       double now = clock.load(std::memory_order_relaxed) + 1.0;
       clock.store(now, std::memory_order_release);
       std::lock_guard<std::mutex> lock(mu);
-      blocks_released = std::min<size_t>(config_.online_blocks,
-                                         static_cast<size_t>(std::floor(now)));
+      blocks_released = std::max(blocks_released,
+                                 std::min<size_t>(config_.online_blocks,
+                                                  static_cast<size_t>(std::floor(now))));
     }
   });
 
@@ -144,9 +186,10 @@ OrchestratorRunResult ClusterOrchestrator::RunOnline(std::vector<Task> tasks) {
     producer_done.store(true, std::memory_order_release);
   });
 
-  size_t cycles = 0;
-  size_t blocks_added = 0;
-  double next_cycle = 0.0;
+  OrchestratorRunResult result;
+  size_t cycles = snapshot != nullptr ? static_cast<size_t>(snapshot->meta.cycles_completed)
+                                      : 0;
+  double next_cycle = snapshot != nullptr ? snapshot->meta.next_cycle_time : 0.0;
   while (true) {
     double now = clock.load(std::memory_order_acquire);
     if (now < next_cycle) {
@@ -176,6 +219,32 @@ OrchestratorRunResult ClusterOrchestrator::RunOnline(std::vector<Task> tasks) {
     ++cycles;
     next_cycle += config_.period;
 
+    if (config_.checkpoint_every_cycles > 0 &&
+        cycles % config_.checkpoint_every_cycles == 0) {
+      // The capture runs on the scheduler thread, which owns the manager and the queue.
+      // The clock races ahead of the drain, so a freshly drained claim can carry an
+      // arrival time past the `now` this cycle read — stamp the checkpoint at the latest
+      // state it actually covers.
+      double checkpoint_time = now;
+      for (const Task& task : online.pending()) {
+        checkpoint_time = std::max(checkpoint_time, task.arrival_time);
+      }
+      SnapshotMeta meta;
+      meta.cycles_completed = cycles;
+      meta.checkpoint_time = checkpoint_time;
+      meta.next_cycle_time = std::max(next_cycle, checkpoint_time);
+      meta.period = config_.period;
+      meta.unlock_steps = config_.unlock_steps;
+      meta.fair_share_n = online.config().fair_share_n;
+      meta.num_shards = std::max<size_t>(1, config_.num_shards);
+      meta.async = config_.async;
+      std::string encoded = EncodeSnapshotBinary(
+          CaptureSnapshot(blocks, online.pending(), online.metrics(), meta));
+      result.last_checkpoint = encoded;
+      store.Put(kCheckpointKey, std::move(encoded));
+      ++result.checkpoints_taken;
+    }
+
     if (producer_done.load(std::memory_order_acquire) && now >= end_virtual) {
       break;
     }
@@ -184,12 +253,12 @@ OrchestratorRunResult ClusterOrchestrator::RunOnline(std::vector<Task> tasks) {
   producer.join();
   timekeeper.join();
 
-  OrchestratorRunResult result;
   result.metrics = online.metrics();
   if (const ScheduleContextStats* stats = online.context_stats()) {
     result.scheduler_stats = stats->Delta(stats_at_entry);
   }
   result.store_operations = store.operations();
+  result.store_bytes_written = store.bytes_written();
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - run_start).count();
   result.cycles = cycles;

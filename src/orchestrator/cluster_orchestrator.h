@@ -24,6 +24,7 @@
 #include "src/core/online_scheduler.h"
 #include "src/core/scheduler.h"
 #include "src/core/task.h"
+#include "src/orchestrator/checkpoint.h"
 #include "src/orchestrator/state_store.h"
 #include "src/rdp/alpha_grid.h"
 
@@ -47,6 +48,11 @@ struct OrchestratorConfig {
   // When set and the scheduler is a GreedyScheduler, run its incremental engine on the
   // async per-shard scheduler threads (same grants; see src/core/async_schedule_engine.h).
   bool async = false;
+  // When > 0, RunOnline/ResumeFrom serialize a full cluster snapshot every this-many
+  // cycles and Put it into the run's SimulatedStateStore under kCheckpointKey — the write
+  // blocks the scheduler loop for one round trip per 64 KiB chunk, so checkpoint
+  // persistence cost lands in the same Q4 overhead accounting as the claim traffic.
+  size_t checkpoint_every_cycles = 0;
 };
 
 struct OrchestratorRunResult {
@@ -54,6 +60,13 @@ struct OrchestratorRunResult {
   uint64_t store_operations = 0;
   double wall_seconds = 0.0;
   size_t cycles = 0;
+  // Checkpointing activity of this run (zeros when checkpoint_every_cycles == 0).
+  uint64_t checkpoints_taken = 0;
+  uint64_t store_bytes_written = 0;
+  // The last snapshot persisted during the run, still in its binary wire encoding; empty
+  // when no checkpoint was taken. Decode with DecodeSnapshot and hand to ResumeFrom to
+  // continue a killed run.
+  std::string last_checkpoint;
   // Incremental-engine counters covering exactly this run (zeros when the scheduler does
   // not run on an incremental engine). The engine survives every cycle of the run — and the
   // scheduler survives across runs — so the run-entry snapshot is subtracted to isolate
@@ -63,6 +76,10 @@ struct OrchestratorRunResult {
 
 class ClusterOrchestrator {
  public:
+  // The store key checkpoints are persisted under (one key, overwritten per checkpoint —
+  // the latest snapshot is the only one recovery needs, as with a compacted etcd key).
+  static constexpr const char* kCheckpointKey = "dpack/checkpoint";
+
   ClusterOrchestrator(std::unique_ptr<Scheduler> scheduler, OrchestratorConfig config);
 
   // Offline measurement (Fig. 8(a) methodology): all blocks present and unlocked, all of
@@ -75,13 +92,28 @@ class ClusterOrchestrator {
   // arrival_time (virtual units).
   OrchestratorRunResult RunOnline(std::vector<Task> tasks);
 
-  // Both Run* methods lend the scheduler to the run's online driver and take it back (with
-  // its incremental caches invalidated — they are bound to the run's block manager) when the
-  // run finishes, so an orchestrator can execute any sequence of runs.
+  // Crash recovery (§6.4): continues a killed online run from a snapshot persisted by a
+  // previous RunOnline with checkpoint_every_cycles > 0. Restores the block manager, the
+  // pending claims, and the cumulative metrics, then resumes the clock at the checkpoint's
+  // virtual time; `tasks` must be the full original workload — claims whose arrival time
+  // is at or before the checkpoint are the store's responsibility (already granted,
+  // pending, or lost in flight mid-submission, exactly as a real API-server crash leaves
+  // them), so only later arrivals are replayed. The scheduler's engine caches start cold;
+  // the restored state's version invariant makes the first cycle's grants consistent with
+  // an uninterrupted run of the same (wall-clock-raced) submission sequence.
+  OrchestratorRunResult ResumeFrom(const ClusterSnapshot& snapshot, std::vector<Task> tasks);
+
+  // All run entry points lend the scheduler to the run's online driver and take it back
+  // (with its incremental caches invalidated — they are bound to the run's block manager)
+  // when the run finishes, so an orchestrator can execute any sequence of runs.
 
   const OrchestratorConfig& config() const { return config_; }
 
  private:
+  // Shared body of RunOnline and ResumeFrom: `snapshot` == nullptr starts fresh.
+  OrchestratorRunResult RunOnlineInternal(const ClusterSnapshot* snapshot,
+                                          std::vector<Task> tasks);
+
   OrchestratorConfig config_;
   std::unique_ptr<Scheduler> scheduler_;
 };

@@ -20,4 +20,25 @@ void SimulatedStateStore::RoundTrip(uint64_t ops) {
   std::this_thread::sleep_for(total);
 }
 
+void SimulatedStateStore::Put(const std::string& key, std::string value) {
+  uint64_t size = static_cast<uint64_t>(value.size());
+  uint64_t chunks = size == 0 ? 1 : (size + kPutChunkBytes - 1) / kPutChunkBytes;
+  bytes_written_.fetch_add(size, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    values_[key] = std::move(value);
+  }
+  RoundTrip(chunks);
+}
+
+std::optional<std::string> SimulatedStateStore::Get(const std::string& key) {
+  RoundTrip(1);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = values_.find(key);
+  if (it == values_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
 }  // namespace dpack

@@ -3,11 +3,18 @@
 // simulator setup (§5, §6.3): one block arrives per virtual time unit, a scheduling cycle
 // runs every T, budget unlocks in 1/N steps, and the run drains after the last arrival until
 // all budget is unlocked and a final cycle has run.
+//
+// Runs can be split at any cycle boundary (checkpoint/recovery, ISSUE 4): stopping a run
+// after k cycles captures a ClusterSnapshot, and ResumeOnlineSimulation continues from it —
+// replaying only the arrivals after the checkpoint and the remaining cycles at their exact
+// original instants — with byte-identical grants and deterministic metrics to the
+// uninterrupted run (pinned by tests/orchestrator/recovery_test.cc).
 
 #ifndef SRC_SIM_SIM_DRIVER_H_
 #define SRC_SIM_SIM_DRIVER_H_
 
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "src/block/block_manager.h"
@@ -15,6 +22,7 @@
 #include "src/core/online_scheduler.h"
 #include "src/core/scheduler.h"
 #include "src/core/task.h"
+#include "src/orchestrator/checkpoint.h"
 #include "src/rdp/alpha_grid.h"
 
 namespace dpack {
@@ -39,6 +47,19 @@ struct SimConfig {
   // When set and the scheduler is a GreedyScheduler, run its incremental engine on the
   // async per-shard scheduler threads (same grants; see src/core/async_schedule_engine.h).
   bool async = false;
+  // When > 0, simulate a crash after this many scheduling cycles (clamped to the run's
+  // total cycle count): the run stops there and SimResult::snapshot holds the captured
+  // cluster state. Pass the snapshot (and the same workload and config) to
+  // ResumeOnlineSimulation to continue the run.
+  size_t stop_after_cycles = 0;
+  // With stop_after_cycles = k: also process every arrival at the (k+1)-th cycle instant
+  // and capture the snapshot just *before* that cycle runs (the "mid-submission-drain"
+  // kill point — freshly submitted tasks sit in the queue, the cycle that would schedule
+  // them has not happened). Resume then executes that cycle first.
+  bool stop_mid_drain = false;
+  // When set, SimResult::grant_trace records the granted task ids of every cycle this
+  // process ran, in grant order — the byte-comparable signal the recovery proofs diff.
+  bool record_grant_trace = false;
 };
 
 struct SimResult {
@@ -51,6 +72,12 @@ struct SimResult {
   // run on a ScheduleContext). The scheduler instance persists across every cycle of the
   // simulation, so the context's caches survive between batches.
   ScheduleContextStats scheduler_stats;
+  // Granted task ids per executed cycle (only when SimConfig::record_grant_trace). A
+  // resumed run records only its own cycles; prefix + suffix must equal the uninterrupted
+  // run's trace.
+  std::vector<std::vector<TaskId>> grant_trace;
+  // The captured cluster state when SimConfig::stop_after_cycles ended the run early.
+  std::optional<ClusterSnapshot> snapshot;
 };
 
 // Runs one online simulation of `scheduler` over `tasks` (arrival times set by the workload
@@ -58,6 +85,16 @@ struct SimResult {
 // most recent blocks at submission, as in the paper's workloads.
 SimResult RunOnlineSimulation(std::unique_ptr<Scheduler> scheduler, std::vector<Task> tasks,
                               const SimConfig& config);
+
+// Continues a run from `snapshot` (captured by a stop_after_cycles run with the same
+// workload and config): restores the block manager, the pending queue, and the cumulative
+// metrics, then replays the arrivals strictly after the checkpoint time and the remaining
+// scheduling cycles at their exact original instants. Pass the FULL original workload —
+// already-absorbed tasks are filtered by arrival time. The scheduler starts with cold
+// engine caches; grants are byte-identical to the uninterrupted run regardless.
+SimResult ResumeOnlineSimulation(std::unique_ptr<Scheduler> scheduler,
+                                 const ClusterSnapshot& snapshot, std::vector<Task> tasks,
+                                 const SimConfig& config);
 
 // Offline convenience: every block present and fully unlocked at t = 0, one scheduling shot.
 // Returns the same metrics structure (delays are all zero).

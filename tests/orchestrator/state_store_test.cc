@@ -57,5 +57,49 @@ TEST(StateStoreTest, ZeroOpsNoCount) {
   EXPECT_EQ(store.operations(), 0u);
 }
 
+TEST(StateStoreTest, PutGetRoundTripsBytes) {
+  SimulatedStateStore store(0.0);
+  EXPECT_FALSE(store.Get("missing").has_value());  // Charged one read trip.
+  store.Put("checkpoint", "snapshot-bytes");
+  std::optional<std::string> value = store.Get("checkpoint");
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(*value, "snapshot-bytes");
+  store.Put("checkpoint", "newer");  // Overwrite.
+  EXPECT_EQ(*store.Get("checkpoint"), "newer");
+  EXPECT_EQ(store.bytes_written(), std::string("snapshot-bytes").size() + 5);
+}
+
+TEST(StateStoreTest, PutChargesOneTripPerChunk) {
+  SimulatedStateStore store(0.0);
+  store.Put("small", "x");  // 1 trip.
+  EXPECT_EQ(store.operations(), 1u);
+  store.Put("empty", "");  // Still 1 trip (the write itself).
+  EXPECT_EQ(store.operations(), 2u);
+  std::string large(SimulatedStateStore::kPutChunkBytes * 2 + 1, 'a');  // 3 chunks.
+  store.Put("large", std::move(large));
+  EXPECT_EQ(store.operations(), 5u);
+}
+
+TEST(StateStoreTest, ConcurrentPutGetAndRoundTrips) {
+  // The orchestrator's producer thread issues claim round trips while the scheduler thread
+  // persists checkpoints; the store must tolerate that concurrency.
+  SimulatedStateStore store(0.0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&store, t] {
+      for (int i = 0; i < 2000; ++i) {
+        store.Put("key" + std::to_string(t), std::string(16, 'v'));
+        store.Get("key" + std::to_string(1 - t));
+        store.RoundTrip();
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(store.operations(), 2u * 2000u * 3u);
+  EXPECT_EQ(store.bytes_written(), 2u * 2000u * 16u);
+}
+
 }  // namespace
 }  // namespace dpack
