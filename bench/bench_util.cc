@@ -55,6 +55,27 @@ RdpCurve SteadyStateTinyDemand() {
   return BlockCapacityCurve(AlphaGrid::Default(), kEpsG, kDeltaG).Scaled(1e-9);
 }
 
+bool WriteBenchCountersJson(const std::string& path,
+                            const std::vector<BenchJsonEntry>& entries) {
+  FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  std::fprintf(out, "{\n  \"benchmarks\": [\n");
+  for (size_t e = 0; e < entries.size(); ++e) {
+    std::fprintf(out, "    {\"name\": \"%s\"", entries[e].name.c_str());
+    for (const auto& [key, value] : entries[e].fields) {
+      std::fprintf(out, ", \"%s\": %.4f", key.c_str(), value);
+    }
+    std::fprintf(out, "}%s\n", e + 1 < entries.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote engine counters to %s\n", path.c_str());
+  return true;
+}
+
 void Banner(const std::string& experiment, const std::string& paper_reference) {
   std::printf("\n================================================================\n");
   std::printf("%s  (%s)\n", experiment.c_str(), paper_reference.c_str());

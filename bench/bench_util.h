@@ -46,6 +46,20 @@ std::vector<Task> SteadyStateTasks(size_t n);
 // dirty blocks between cycles the way a real cycle's grants would.
 RdpCurve SteadyStateTinyDemand();
 
+// One entry for WriteBenchCountersJson: a benchmark name plus numeric fields, emitted in
+// insertion order.
+struct BenchJsonEntry {
+  std::string name;
+  std::vector<std::pair<std::string, double>> fields;
+};
+
+// Writes entries in google-benchmark's {"benchmarks": [...]} JSON shape — the single
+// encoding scripts/check_bench_regression.py parses. fig5 and fig10 share this writer so
+// the CI gate's producers cannot drift apart. Returns false on I/O failure (callers must
+// propagate it: a missing counters file should fail the bench step, not the gate step).
+bool WriteBenchCountersJson(const std::string& path,
+                            const std::vector<BenchJsonEntry>& entries);
+
 }  // namespace dpack::bench
 
 #endif  // BENCH_BENCH_UTIL_H_

@@ -244,22 +244,15 @@ void RunAsyncSweep(Scale scale) {
 // humans. Counters are exact functions of (workload seed, task count, cycle count, engine),
 // so they are stable across machines — unlike wall time on shared runners.
 
-void DumpCountersJson(Scale scale, const std::string& path) {
+bool DumpCountersJson(Scale scale, const std::string& path) {
   double f = ScaleFactor(scale);
   size_t num_tasks = static_cast<size_t>(1000.0 * f);
   if (num_tasks == 0) {
-    return;
+    return true;
   }
   constexpr size_t kBlocks = kSteadyStateBlocks;
   constexpr size_t kCycles = 20;
   std::vector<Task> tasks = SteadyStateTasks(num_tasks);
-  FILE* out = std::fopen(path.c_str(), "w");
-  if (out == nullptr) {
-    std::fprintf(stderr, "fig5: cannot open %s for writing\n", path.c_str());
-    return;
-  }
-  std::fprintf(out, "{\n  \"benchmarks\": [\n");
-  bool first = true;
   struct Leg {
     const char* label;
     size_t shards;
@@ -267,34 +260,29 @@ void DumpCountersJson(Scale scale, const std::string& path) {
   };
   const Leg legs[] = {{"sync", 1, false}, {"sync", 4, false},
                       {"async", 1, true}, {"async", 4, true}};
+  std::vector<BenchJsonEntry> entries;
   for (GreedyMetric metric : {GreedyMetric::kDpack, GreedyMetric::kDpf, GreedyMetric::kArea}) {
     GreedyScheduler named(metric);
     for (const Leg& leg : legs) {
       ScheduleContextStats stats;
       double ms = SteadyStateMsPerCycle(metric, true, tasks, kBlocks, kCycles, leg.shards,
                                         leg.async, &stats);
-      if (!first) {
-        std::fprintf(out, ",\n");
-      }
-      first = false;
-      std::fprintf(out,
-                   "    {\"name\": \"fig5_steady/%s/%s/shards:%zu\", "
-                   "\"wall_ms\": %.4f, "
-                   "\"rescored_per_cycle\": %.4f, \"reused_per_cycle\": %.4f, "
-                   "\"blocks_refreshed_per_cycle\": %.4f, \"best_alpha_per_cycle\": %.4f, "
-                   "\"early_scores_per_cycle\": %.4f, \"full_recomputes\": %.0f}",
-                   named.name().c_str(), leg.label, leg.shards, ms,
-                   static_cast<double>(stats.tasks_rescored) / kCycles,
-                   static_cast<double>(stats.tasks_reused) / kCycles,
-                   static_cast<double>(stats.blocks_refreshed) / kCycles,
-                   static_cast<double>(stats.best_alpha_recomputes) / kCycles,
-                   static_cast<double>(stats.async_early_scores) / kCycles,
-                   static_cast<double>(stats.full_recomputes));
+      entries.push_back(BenchJsonEntry{
+          "fig5_steady/" + named.name() + "/" + leg.label +
+              "/shards:" + std::to_string(leg.shards),
+          {{"wall_ms", ms},
+           {"rescored_per_cycle", static_cast<double>(stats.tasks_rescored) / kCycles},
+           {"reused_per_cycle", static_cast<double>(stats.tasks_reused) / kCycles},
+           {"blocks_refreshed_per_cycle",
+            static_cast<double>(stats.blocks_refreshed) / kCycles},
+           {"best_alpha_per_cycle",
+            static_cast<double>(stats.best_alpha_recomputes) / kCycles},
+           {"early_scores_per_cycle",
+            static_cast<double>(stats.async_early_scores) / kCycles},
+           {"full_recomputes", static_cast<double>(stats.full_recomputes)}}});
     }
   }
-  std::fprintf(out, "\n  ]\n}\n");
-  std::fclose(out);
-  std::printf("wrote steady-state engine counters to %s\n", path.c_str());
+  return WriteBenchCountersJson(path, entries);
 }
 
 std::string ParseJsonPath(int argc, char** argv) {
@@ -316,9 +304,9 @@ int main(int argc, char** argv) {
   std::string json_path = ParseJsonPath(argc, argv);
   if (!json_path.empty()) {
     // Counter-dump mode (the CI regression gate): only the JSON consumer exists, so skip
-    // the human-readable sweeps — they would re-measure the same legs for nobody.
-    DumpCountersJson(scale, json_path);
-    return 0;
+    // the human-readable sweeps — they would re-measure the same legs for nobody. A
+    // failed dump must fail this step, not the gate step two steps later.
+    return DumpCountersJson(scale, json_path) ? 0 : 1;
   }
   Run(scale);
   RunIncrementalComparison(scale);

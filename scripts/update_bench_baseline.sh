@@ -16,7 +16,8 @@ OUT="bench/baseline.json"
 TMP_DIR="$(mktemp -d)"
 trap 'rm -rf "${TMP_DIR}"' EXIT
 
-cmake --build "${BUILD_DIR}" --target bench_micro_scheduler bench_fig5_scalability -j"$(nproc)"
+cmake --build "${BUILD_DIR}" \
+  --target bench_micro_scheduler bench_fig5_scalability bench_fig10_scenarios -j"$(nproc)"
 
 "./${BUILD_DIR}/bench_micro_scheduler" \
   --benchmark_filter=Steady \
@@ -27,7 +28,10 @@ cmake --build "${BUILD_DIR}" --target bench_micro_scheduler bench_fig5_scalabili
 "./${BUILD_DIR}/bench_fig5_scalability" --quick --json "${TMP_DIR}/fig5_counters.json" \
   > /dev/null
 
-python3 - "${TMP_DIR}/micro_scheduler.json" "${TMP_DIR}/fig5_counters.json" "${OUT}" <<'EOF'
+"./${BUILD_DIR}/bench_fig10_scenarios" --json "${TMP_DIR}/fig10_counters.json" > /dev/null
+
+python3 - "${TMP_DIR}/micro_scheduler.json" "${TMP_DIR}/fig5_counters.json" \
+  "${TMP_DIR}/fig10_counters.json" "${OUT}" <<'EOF'
 import json
 import sys
 

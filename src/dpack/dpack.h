@@ -82,6 +82,7 @@
 #include "src/workload/amazon.h"
 #include "src/workload/curve_pool.h"
 #include "src/workload/microbenchmark.h"
+#include "src/workload/scenario.h"
 #include "src/workload/trace_io.h"
 #include "src/workload/workload_stats.h"
 

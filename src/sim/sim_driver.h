@@ -33,6 +33,12 @@ struct SimConfig {
   double delta_g = 1e-7;
   size_t num_blocks = 90;            // Blocks arriving at t = 0, 1, ..., num_blocks - 1.
   double block_interval = 1.0;
+  // Explicit block-arrival instants (non-negative, sorted ascending). When non-empty this
+  // overrides the fixed-interval process above (num_blocks / block_interval are ignored):
+  // scenario workloads with batched cohorts or jittered streams drive the simulation
+  // through this schedule (src/workload/scenario.h). A resumed run derives the same
+  // schedule, so checkpoint/recovery equivalence holds for generated streams too.
+  std::vector<double> block_arrival_times;
   double period = 1.0;               // Scheduling period T.
   int64_t unlock_steps = 50;         // Unlocking denominator N.
   int64_t fair_share_n = 0;          // Fairness denominator; 0 -> unlock_steps.

@@ -1,5 +1,6 @@
 #include "src/workload/trace_io.h"
 
+#include <algorithm>
 #include <cmath>
 #include <fstream>
 #include <limits>
@@ -11,7 +12,13 @@ namespace dpack {
 
 namespace {
 
-constexpr char kMagic[] = "dpack_trace_v1";
+// Format v2 (current): adds the explicit `blocks` column between num_recent_blocks and the
+// demand curve. v1 files (fixed 5-column prefix, no explicit lists) remain loadable.
+constexpr char kMagicV1[] = "dpack_trace_v1";
+constexpr char kMagicV2[] = "dpack_trace_v2";
+
+// Separator inside the blocks cell: the cell must not contain the CSV delimiter.
+constexpr char kBlockSep = ';';
 
 std::vector<std::string> SplitCsvLine(const std::string& line) {
   std::vector<std::string> cells;
@@ -23,15 +30,43 @@ std::vector<std::string> SplitCsvLine(const std::string& line) {
   return cells;
 }
 
+// Parses a ';'-separated list of block ids; empty cell = no explicit list. The list must
+// be strictly ascending (sorted, distinct) — the canonical order WriteTrace enforces. A
+// duplicate id would double-commit the task's demand to that block on grant, silently
+// overcharging its privacy budget, so it is malformed input, not a tolerable variation.
+std::vector<BlockId> ParseBlocksCell(const std::string& cell) {
+  std::vector<BlockId> blocks;
+  if (cell.empty()) {
+    return blocks;
+  }
+  DPACK_CHECK_MSG(cell.back() != kBlockSep, "malformed blocks cell");
+  std::istringstream stream(cell);
+  std::string token;
+  while (std::getline(stream, token, kBlockSep)) {
+    // 18 digits keeps the value well inside int64 — stoll can never throw. Leading zeros
+    // are rejected too: only the canonical encoding is readable, so a reload-and-reexport
+    // cycle is always byte-identical.
+    DPACK_CHECK_MSG(!token.empty() && token.size() <= 18 &&
+                        token.find_first_not_of("0123456789") == std::string::npos &&
+                        (token.size() == 1 || token[0] != '0'),
+                    "malformed blocks cell");
+    BlockId id = static_cast<BlockId>(std::stoll(token));
+    DPACK_CHECK_MSG(blocks.empty() || blocks.back() < id, "malformed blocks cell");
+    blocks.push_back(id);
+  }
+  DPACK_CHECK_MSG(!blocks.empty(), "malformed blocks cell");
+  return blocks;
+}
+
 }  // namespace
 
 bool WriteTrace(std::ostream& os, std::span<const Task> tasks, const AlphaGridPtr& grid) {
-  os << kMagic;
+  os << kMagicV2;
   for (double alpha : grid->orders()) {
     os << "," << alpha;
   }
   os << "\n";
-  os << "id,weight,arrival_time,timeout,num_recent_blocks";
+  os << "id,weight,arrival_time,timeout,num_recent_blocks,blocks";
   for (size_t a = 0; a < grid->size(); ++a) {
     os << ",eps_a" << grid->order(a);
   }
@@ -39,9 +74,20 @@ bool WriteTrace(std::ostream& os, std::span<const Task> tasks, const AlphaGridPt
   os.precision(17);
   for (const Task& task : tasks) {
     DPACK_CHECK_MSG(SameGrid(task.demand.grid(), grid), "task grid mismatch");
-    size_t recent = task.blocks.empty() ? task.num_recent_blocks : task.blocks.size();
     os << task.id << "," << task.weight << "," << task.arrival_time << ","
-       << (std::isinf(task.timeout) ? -1.0 : task.timeout) << "," << recent;
+       << (std::isinf(task.timeout) ? -1.0 : task.timeout) << "," << task.num_recent_blocks
+       << ",";
+    for (size_t b = 0; b < task.blocks.size(); ++b) {
+      DPACK_CHECK_MSG(task.blocks[b] >= 0, "negative block id in trace");
+      // Strictly ascending is the canonical (and only readable) encoding: a duplicate id
+      // would double-charge the block on grant.
+      DPACK_CHECK_MSG(b == 0 || task.blocks[b - 1] < task.blocks[b],
+                      "block list must be sorted and distinct");
+      if (b > 0) {
+        os << kBlockSep;
+      }
+      os << task.blocks[b];
+    }
     for (size_t a = 0; a < grid->size(); ++a) {
       os << "," << task.demand.epsilon(a);
     }
@@ -63,23 +109,49 @@ std::vector<Task> ReadTrace(std::istream& is, const AlphaGridPtr& grid) {
   std::string line;
   DPACK_CHECK_MSG(std::getline(is, line), "empty trace");
   std::vector<std::string> header = SplitCsvLine(line);
-  DPACK_CHECK_MSG(!header.empty() && header[0] == kMagic, "not a dpack trace");
+  DPACK_CHECK_MSG(!header.empty() && (header[0] == kMagicV1 || header[0] == kMagicV2),
+                  "not a dpack trace");
+  bool v2 = header[0] == kMagicV2;
   DPACK_CHECK_MSG(header.size() == grid->size() + 1, "trace grid size mismatch");
   for (size_t a = 0; a < grid->size(); ++a) {
     DPACK_CHECK_MSG(std::stod(header[a + 1]) == grid->order(a), "trace grid order mismatch");
   }
   DPACK_CHECK_MSG(std::getline(is, line), "missing column header");
+  std::vector<std::string> columns = SplitCsvLine(line);
+  bool claims_blocks =
+      std::find(columns.begin(), columns.end(), "blocks") != columns.end();
+  // A v1 file never defined explicit-list semantics; one that claims the column was
+  // written by a confused producer, and silently guessing its row layout could misread a
+  // privacy demand — reject instead.
+  DPACK_CHECK_MSG(v2 || !claims_blocks, "v1 trace cannot carry explicit block lists");
+  DPACK_CHECK_MSG(!v2 || claims_blocks, "v2 trace missing the blocks column");
+  // The fixed columns must sit at their exact positions: a reordered header would make
+  // the positional row parse below read a demand or a block list out of the wrong cell.
+  const std::vector<std::string> expected_prefix =
+      v2 ? std::vector<std::string>{"id", "weight", "arrival_time", "timeout",
+                                    "num_recent_blocks", "blocks"}
+         : std::vector<std::string>{"id", "weight", "arrival_time", "timeout",
+                                    "num_recent_blocks"};
+  size_t fixed_columns = expected_prefix.size();
+  DPACK_CHECK_MSG(columns.size() == fixed_columns + grid->size(),
+                  "trace column header mismatch");
+  for (size_t c = 0; c < fixed_columns; ++c) {
+    DPACK_CHECK_MSG(columns[c] == expected_prefix[c], "trace column header mismatch");
+  }
 
   std::vector<Task> tasks;
   while (std::getline(is, line)) {
     if (line.empty()) {
       continue;
     }
+    // A row whose blocks cell is empty drops the empty trailing token under the CSV
+    // splitter only when the cell is last — it never is (the demand columns follow), so
+    // every well-formed row splits to the exact column count.
     std::vector<std::string> cells = SplitCsvLine(line);
-    DPACK_CHECK_MSG(cells.size() == 5 + grid->size(), "malformed trace row");
+    DPACK_CHECK_MSG(cells.size() == fixed_columns + grid->size(), "malformed trace row");
     std::vector<double> eps(grid->size());
     for (size_t a = 0; a < grid->size(); ++a) {
-      eps[a] = std::stod(cells[5 + a]);
+      eps[a] = std::stod(cells[fixed_columns + a]);
     }
     Task task(static_cast<TaskId>(std::stoll(cells[0])), std::stod(cells[1]),
               RdpCurve(grid, std::move(eps)));
@@ -87,6 +159,9 @@ std::vector<Task> ReadTrace(std::istream& is, const AlphaGridPtr& grid) {
     double timeout = std::stod(cells[3]);
     task.timeout = timeout < 0.0 ? std::numeric_limits<double>::infinity() : timeout;
     task.num_recent_blocks = static_cast<size_t>(std::stoull(cells[4]));
+    if (v2) {
+      task.blocks = ParseBlocksCell(cells[5]);
+    }
     tasks.push_back(std::move(task));
   }
   return tasks;

@@ -1,11 +1,14 @@
 // Workload (de)serialization: export generated task traces to CSV and load them back.
 //
 // The paper releases Alibaba-DP as a standalone benchmark; this module gives the same
-// portability to any generated workload. One row per task:
-//   id, weight, arrival_time, timeout, num_recent_blocks, eps(alpha_0), ..., eps(alpha_k)
-// The header records the grid orders so a loaded trace is validated against the grid it was
-// written with. Explicit per-task block lists (task.blocks) are not serialized — exported
-// traces use the most-recent-blocks convention of the online workloads.
+// portability to any generated workload. One row per task (format v2):
+//   id, weight, arrival_time, timeout, num_recent_blocks, blocks, eps(alpha_0), ...
+// The header records the format version and the grid orders, so a loaded trace is validated
+// against the grid it was written with. The `blocks` column carries the task's explicit
+// block-id list (';'-separated, ascending) when `task.blocks` is set, and is empty for
+// most-recent-blocks tasks — so any generated scenario (src/workload/scenario.h) round-trips
+// exactly. v1 traces (no blocks column) still load; a v1 header claiming a blocks column is
+// rejected, since v1 never defined explicit-list semantics.
 
 #ifndef SRC_WORKLOAD_TRACE_IO_H_
 #define SRC_WORKLOAD_TRACE_IO_H_

@@ -73,14 +73,153 @@ TEST(TraceIoDeathTest, RejectsGridMismatch) {
   EXPECT_DEATH(ReadTrace(buffer, Grid()), "grid");
 }
 
-TEST(TraceIoTest, ResolvedBlockListsExportAsRecentCount) {
-  std::vector<Task> tasks = SampleWorkload(1);
-  tasks[0].blocks = {0, 1, 2};  // Resolved list exports as a count of 3.
+TEST(TraceIoTest, ExplicitBlockListsRoundTripExactly) {
+  // The v2 format's reason to exist (ISSUE 5): explicit per-task block lists — what the
+  // scenario generator's uniform/hot-spot selection policies emit — survive export/reload
+  // bit-exactly instead of degrading to a most-recent count.
+  std::vector<Task> tasks = SampleWorkload(3);
+  tasks[0].blocks = {0, 1, 2};
+  tasks[0].num_recent_blocks = 0;
+  tasks[1].blocks = {7};
+  tasks[1].num_recent_blocks = 0;
+  // tasks[2] stays on the most-recent convention; both kinds share one file.
   std::stringstream buffer;
-  WriteTrace(buffer, tasks, Grid());
+  ASSERT_TRUE(WriteTrace(buffer, tasks, Grid()));
   std::vector<Task> loaded = ReadTrace(buffer, Grid());
-  EXPECT_TRUE(loaded[0].blocks.empty());
-  EXPECT_EQ(loaded[0].num_recent_blocks, 3u);
+  ASSERT_EQ(loaded.size(), 3u);
+  EXPECT_EQ(loaded[0].blocks, (std::vector<BlockId>{0, 1, 2}));
+  EXPECT_EQ(loaded[0].num_recent_blocks, 0u);
+  EXPECT_EQ(loaded[1].blocks, (std::vector<BlockId>{7}));
+  EXPECT_TRUE(loaded[2].blocks.empty());
+  EXPECT_EQ(loaded[2].num_recent_blocks, tasks[2].num_recent_blocks);
+}
+
+TEST(TraceIoTest, V1TracesStillLoad) {
+  // Round-trip a v2 write, then rewrite its header to the v1 layout (drop the blocks
+  // column) and check the legacy path parses it with most-recent semantics.
+  std::vector<Task> tasks = SampleWorkload(2);
+  std::stringstream v2;
+  ASSERT_TRUE(WriteTrace(v2, tasks, Grid()));
+  std::string text = v2.str();
+  size_t magic = text.find("dpack_trace_v2");
+  ASSERT_NE(magic, std::string::npos);
+  text.replace(magic, 14, "dpack_trace_v1");
+  size_t blocks_col = text.find(",blocks");
+  ASSERT_NE(blocks_col, std::string::npos);
+  text.erase(blocks_col, 7);
+  // v2 rows of most-recent tasks have an empty blocks cell (",,"): collapse it to v1 rows.
+  size_t pos;
+  while ((pos = text.find(",,")) != std::string::npos) {
+    text.erase(pos, 1);
+  }
+  std::stringstream v1(text);
+  std::vector<Task> loaded = ReadTrace(v1, Grid());
+  ASSERT_EQ(loaded.size(), tasks.size());
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    EXPECT_EQ(loaded[i].num_recent_blocks, tasks[i].num_recent_blocks);
+    EXPECT_TRUE(loaded[i].blocks.empty());
+    EXPECT_EQ(loaded[i].demand.epsilons(), tasks[i].demand.epsilons());
+  }
+}
+
+TEST(TraceIoDeathTest, RejectsV1TraceClaimingExplicitLists) {
+  // A v1 magic with a blocks column is a confused producer: v1 never defined explicit-list
+  // semantics, and guessing the row layout could misread a privacy demand.
+  std::vector<Task> tasks = SampleWorkload(1);
+  std::stringstream v2;
+  ASSERT_TRUE(WriteTrace(v2, tasks, Grid()));
+  std::string text = v2.str();
+  text.replace(text.find("dpack_trace_v2"), 14, "dpack_trace_v1");
+  std::stringstream tampered(text);
+  EXPECT_DEATH(ReadTrace(tampered, Grid()), "v1 trace cannot carry explicit block lists");
+}
+
+TEST(TraceIoDeathTest, RejectsV2TraceWithoutBlocksColumn) {
+  std::vector<Task> tasks = SampleWorkload(1);
+  std::stringstream v2;
+  ASSERT_TRUE(WriteTrace(v2, tasks, Grid()));
+  std::string text = v2.str();
+  size_t blocks_col = text.find(",blocks");
+  ASSERT_NE(blocks_col, std::string::npos);
+  text.erase(blocks_col, 7);
+  std::stringstream tampered(text);
+  EXPECT_DEATH(ReadTrace(tampered, Grid()), "v2 trace missing the blocks column");
+}
+
+TEST(TraceIoDeathTest, RejectsMalformedBlocksCell) {
+  std::vector<Task> tasks = SampleWorkload(1);
+  tasks[0].blocks = {0, 1};
+  tasks[0].num_recent_blocks = 0;
+  std::stringstream v2;
+  ASSERT_TRUE(WriteTrace(v2, tasks, Grid()));
+  std::string text = v2.str();
+  size_t cell = text.find(",0;1,");
+  ASSERT_NE(cell, std::string::npos);
+  {
+    std::string bad = text;
+    bad.replace(cell, 5, ",0;x,");  // Non-numeric id.
+    std::stringstream in(bad);
+    EXPECT_DEATH(ReadTrace(in, Grid()), "malformed blocks cell");
+  }
+  {
+    std::string bad = text;
+    bad.replace(cell, 5, ",0;;1,");  // Empty token.
+    std::stringstream in(bad);
+    EXPECT_DEATH(ReadTrace(in, Grid()), "malformed blocks cell");
+  }
+  {
+    std::string bad = text;
+    bad.replace(cell, 5, ",-1;1,");  // Negative id.
+    std::stringstream in(bad);
+    EXPECT_DEATH(ReadTrace(in, Grid()), "malformed blocks cell");
+  }
+  {
+    // Duplicate id: loading it would double-commit the demand to block 0 on grant,
+    // silently overcharging its privacy budget.
+    std::string bad = text;
+    bad.replace(cell, 5, ",0;0,");
+    std::stringstream in(bad);
+    EXPECT_DEATH(ReadTrace(in, Grid()), "malformed blocks cell");
+  }
+  {
+    std::string bad = text;
+    bad.replace(cell, 5, ",1;0,");  // Out of order.
+    std::stringstream in(bad);
+    EXPECT_DEATH(ReadTrace(in, Grid()), "malformed blocks cell");
+  }
+  {
+    // An id too long for int64: must be rejected as malformed, not crash in stoll.
+    std::string bad = text;
+    bad.replace(cell, 5, ",0;9223372036854775808,");
+    std::stringstream in(bad);
+    EXPECT_DEATH(ReadTrace(in, Grid()), "malformed blocks cell");
+  }
+  {
+    std::string bad = text;
+    bad.replace(cell, 5, ",0;1;,");  // Trailing separator: non-canonical encoding.
+    std::stringstream in(bad);
+    EXPECT_DEATH(ReadTrace(in, Grid()), "malformed blocks cell");
+  }
+  {
+    std::string bad = text;
+    bad.replace(cell, 5, ",00;1,");  // Leading zero: non-canonical encoding.
+    std::stringstream in(bad);
+    EXPECT_DEATH(ReadTrace(in, Grid()), "malformed blocks cell");
+  }
+}
+
+TEST(TraceIoDeathTest, RejectsReorderedColumnHeader) {
+  // The row parse is positional; a header whose fixed columns moved must be rejected, not
+  // silently read with a demand or block list pulled from the wrong cell.
+  std::vector<Task> tasks = SampleWorkload(1);
+  std::stringstream v2;
+  ASSERT_TRUE(WriteTrace(v2, tasks, Grid()));
+  std::string text = v2.str();
+  size_t prefix = text.find("num_recent_blocks,blocks");
+  ASSERT_NE(prefix, std::string::npos);
+  text.replace(prefix, 24, "blocks,num_recent_blocks");
+  std::stringstream tampered(text);
+  EXPECT_DEATH(ReadTrace(tampered, Grid()), "trace column header mismatch");
 }
 
 }  // namespace
