@@ -12,10 +12,14 @@ they are noise on shared runners.
 
 A counter regresses when it drifts more than TOLERANCE (25%) from the baseline in either
 direction: more work per cycle means the incremental engine lost reuse; much less usually
-means a benchmark stopped exercising what it claims to. A baseline benchmark missing from
-the current run also fails (coverage loss), and so does any current counter with no entry
-in the baseline ("missing baseline key"): an untracked counter is a gate with a hole in
-it, so new benchmarks/counters must land together with a regenerated baseline
+means a benchmark stopped exercising what it claims to. Zero-valued baseline counters
+(merge_allocs, full_recomputes in steady state) use an absolute tolerance instead — a
+relative tolerance on zero is either meaningless or an exact-match trap for float dumps. A
+baseline benchmark missing from the current run also fails (coverage loss; sweep points
+like .../blocks:N get an explicit message, since a silently shrunken sweep would otherwise
+look like a pass), and so does any current counter with no entry in the baseline ("missing
+baseline key"): an untracked counter is a gate with a hole in it, so new
+benchmarks/counters must land together with a regenerated baseline
 (scripts/update_bench_baseline.sh).
 """
 
@@ -23,7 +27,11 @@ import json
 import sys
 
 TOLERANCE = 0.25
-COUNTER_FIELDS = ("_per_cycle", "full_recomputes")
+# Counters whose baseline is exactly zero (e.g. merge_allocs: steady-state cycles must not
+# allocate) are compared absolutely: anything beyond this is real work appearing on a path
+# proven to do none.
+ZERO_TOLERANCE = 1e-6
+COUNTER_FIELDS = ("_per_cycle", "full_recomputes", "merge_allocs")
 # Never gate on time: wall/CPU time is what the tolerance exists to avoid.
 TIME_FIELDS = ("time", "wall", "_ms")
 
@@ -63,7 +71,14 @@ def main(argv):
             continue
         cur_entry = current.get(name)
         if cur_entry is None:
-            failures.append(f"{name}: present in baseline but missing from the current run")
+            if "/blocks:" in name:
+                failures.append(
+                    f"{name}: sweep point missing from the current run — the bench did "
+                    f"not emit this population scale (shrunken sweep or aborted run), so "
+                    f"the flatness gate has no data for it")
+            else:
+                failures.append(
+                    f"{name}: present in baseline but missing from the current run")
             continue
         cur_counters = counters(cur_entry)
         for key in sorted(set(cur_counters) - set(base_counters)):
@@ -77,8 +92,8 @@ def main(argv):
             cur_value = cur_counters[key]
             compared += 1
             if base_value == 0.0:
-                ok = cur_value == 0.0
-                drift = cur_value
+                drift = abs(cur_value)
+                ok = drift <= ZERO_TOLERANCE
             else:
                 drift = abs(cur_value - base_value) / abs(base_value)
                 ok = drift <= TOLERANCE

@@ -17,7 +17,8 @@ TMP_DIR="$(mktemp -d)"
 trap 'rm -rf "${TMP_DIR}"' EXIT
 
 cmake --build "${BUILD_DIR}" \
-  --target bench_micro_scheduler bench_fig5_scalability bench_fig10_scenarios -j"$(nproc)"
+  --target bench_micro_scheduler bench_fig5_scalability bench_fig10_scenarios \
+  bench_fig11_block_scale -j"$(nproc)"
 
 "./${BUILD_DIR}/bench_micro_scheduler" \
   --benchmark_filter=Steady \
@@ -30,8 +31,13 @@ cmake --build "${BUILD_DIR}" \
 
 "./${BUILD_DIR}/bench_fig10_scenarios" --json "${TMP_DIR}/fig10_counters.json" > /dev/null
 
+# fig11 exits non-zero if its counters are not flat across the population sweep — a
+# baseline must never be regenerated over a broken O(changed) invariant.
+"./${BUILD_DIR}/bench_fig11_block_scale" --json "${TMP_DIR}/fig11_counters.json" \
+  > /dev/null
+
 python3 - "${TMP_DIR}/micro_scheduler.json" "${TMP_DIR}/fig5_counters.json" \
-  "${TMP_DIR}/fig10_counters.json" "${OUT}" <<'EOF'
+  "${TMP_DIR}/fig10_counters.json" "${TMP_DIR}/fig11_counters.json" "${OUT}" <<'EOF'
 import json
 import sys
 
@@ -45,7 +51,7 @@ for path in sys.argv[1:-1]:
         kept = {"name": entry["name"]}
         for key, value in entry.items():
             if isinstance(value, (int, float)) and (
-                    "per_cycle" in key or key == "full_recomputes"):
+                    "per_cycle" in key or key in ("full_recomputes", "merge_allocs")):
                 kept[key] = value
         if len(kept) > 1:
             merged.append(kept)

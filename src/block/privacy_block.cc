@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "src/block/version_tree.h"
 #include "src/common/check.h"
 
 namespace dpack {
@@ -37,13 +38,40 @@ PrivacyBlock PrivacyBlock::Restore(BlockId id, RdpCurve capacity, double arrival
   return block;
 }
 
+PrivacyBlock::PrivacyBlock(const PrivacyBlock& other)
+    : id_(other.id_),
+      capacity_(other.capacity_),
+      consumed_(other.consumed_),
+      arrival_time_(other.arrival_time_),
+      unlocked_fraction_(other.unlocked_fraction_),
+      version_(other.version_),
+      sink_(nullptr) {}
+
+PrivacyBlock& PrivacyBlock::operator=(const PrivacyBlock& other) {
+  id_ = other.id_;
+  capacity_ = other.capacity_;
+  consumed_ = other.consumed_;
+  arrival_time_ = other.arrival_time_;
+  unlocked_fraction_ = other.unlocked_fraction_;
+  version_ = other.version_;
+  sink_ = nullptr;
+  return *this;
+}
+
+void PrivacyBlock::BumpVersion() {
+  ++version_;
+  if (sink_ != nullptr) {
+    sink_->OnBump(id_);
+  }
+}
+
 void PrivacyBlock::SetUnlockedFraction(double fraction) {
   DPACK_CHECK(fraction >= 0.0 && fraction <= 1.0);
   // Unlocking is monotone: budget never re-locks, so stale (smaller) updates are ignored.
   // Only an effective increase changes the available capacity, hence the version.
   if (fraction > unlocked_fraction_) {
     unlocked_fraction_ = fraction;
-    ++version_;
+    BumpVersion();
   }
 }
 
@@ -83,7 +111,7 @@ bool PrivacyBlock::CanAccept(const RdpCurve& demand) const {
 void PrivacyBlock::Commit(const RdpCurve& demand) {
   DPACK_CHECK_MSG(CanAccept(demand), "Commit on a demand the filter rejects");
   consumed_.Accumulate(demand);
-  ++version_;
+  BumpVersion();
 }
 
 bool PrivacyBlock::Exhausted() const {

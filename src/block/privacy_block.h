@@ -23,6 +23,8 @@ namespace dpack {
 
 using BlockId = int64_t;
 
+class BlockVersionTree;
+
 class PrivacyBlock {
  public:
   // A block with explicit per-order capacity, arriving at `arrival_time` (virtual time).
@@ -43,6 +45,14 @@ class PrivacyBlock {
   static PrivacyBlock Restore(BlockId id, RdpCurve capacity, double arrival_time,
                               double unlocked_fraction, RdpCurve consumed, uint64_t version);
 
+  // A copy is a detached trial state (e.g. BlockManager::Clone before re-sinking): it keeps
+  // the version but reports bumps to no tree until its owner re-attaches one. A move keeps
+  // the sink — slab reallocation and retirement compaction move blocks that stay managed.
+  PrivacyBlock(const PrivacyBlock& other);
+  PrivacyBlock& operator=(const PrivacyBlock& other);
+  PrivacyBlock(PrivacyBlock&&) = default;
+  PrivacyBlock& operator=(PrivacyBlock&&) = default;
+
   BlockId id() const { return id_; }
   double arrival_time() const { return arrival_time_; }
   const AlphaGridPtr& grid() const { return capacity_.grid(); }
@@ -62,6 +72,10 @@ class PrivacyBlock {
   // the incremental scheduling engine (ScheduleContext) skip rescoring tasks whose blocks
   // did not change between cycles.
   uint64_t version() const { return version_; }
+
+  // Attaches the version tree every future bump is reported to (nullptr detaches). Owned by
+  // the managing BlockManager; the block never outlives it.
+  void set_version_sink(BlockVersionTree* sink) { sink_ = sink; }
 
   // Unlocked capacity at order `alpha_index`: unlocked_fraction * capacity(alpha).
   double UnlockedCapacityAt(size_t alpha_index) const;
@@ -90,12 +104,16 @@ class PrivacyBlock {
   std::string DebugString() const;
 
  private:
+  // Bumps version_ and reports it to the attached tree.
+  void BumpVersion();
+
   BlockId id_;
   RdpCurve capacity_;
   RdpCurve consumed_;
   double arrival_time_;
   double unlocked_fraction_ = 1.0;
   uint64_t version_ = 0;
+  BlockVersionTree* sink_ = nullptr;
 };
 
 }  // namespace dpack

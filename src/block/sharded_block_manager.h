@@ -72,17 +72,30 @@ class ShardedBlockManager {
   // changes only; requester-set (membership) changes live outside the block layer.
   bool shard_dirty(size_t s) const { return shards_[s].dirty; }
 
+  // Member ids of shard `s` whose version advanced between the previous Sync and the last
+  // one, in increasing id order — the exact set a consumer must refresh. Blocks absorbed by
+  // the last Sync are *not* listed (they are new, not changed; consumers see them through
+  // the epoch/member list). Stable until the next Sync; readable from parallel phases.
+  const std::vector<BlockId>& shard_changed(size_t s) const { return shards_[s].changed; }
+
   // Blocks absorbed so far (= the manager's block_count() at the last Sync).
   size_t known_blocks() const { return known_; }
 
   // Absorbs blocks added to the manager since the last Sync (round-robin assignment) and
-  // refreshes every shard's version sum and dirty flag. Returns the number of new blocks.
-  // Not thread-safe; run between parallel phases.
+  // refreshes every shard's version sum, changed list, and dirty flag. Returns the number of
+  // new blocks. Not thread-safe; run between parallel phases.
+  //
+  // O(arrivals + changed) via the manager's BlockVersionTree: only groups whose version sum
+  // advanced are drilled into, and within them only blocks whose recorded version moved are
+  // charged to their shard. The shard version sums stay exactly "sum of member versions"
+  // (the checkpoint codec re-derives and cross-checks them), updated by per-block deltas.
   size_t Sync();
 
  private:
   struct Shard {
     std::vector<BlockId> members;
+    // Changed (not new) member ids from the last Sync; see shard_changed().
+    std::vector<BlockId> changed;
     // The per-shard clocks. Atomics for lock-free reads from scheduler threads; all writes
     // happen in Sync() on the driver thread (single writer, release stores).
     std::atomic<uint64_t> epoch{0};    // Arrivals absorbed into this shard.
@@ -95,6 +108,10 @@ class ShardedBlockManager {
   // elements must stay in place).
   std::vector<Shard> shards_;
   size_t known_ = 0;
+  // Per-id version recorded when the block was last absorbed or refreshed by Sync.
+  std::vector<uint64_t> last_block_version_;
+  // Version-tree group sums at the last Sync — the drill-down filter.
+  std::vector<uint64_t> group_seen_;
 };
 
 }  // namespace dpack

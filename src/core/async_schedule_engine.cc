@@ -68,6 +68,16 @@ void AsyncScheduleEngine::ShardLoop(size_t s) {
     ShardContext& shard = shards_[s];
     std::vector<size_t>& late = late_[s];
     late.clear();
+    if (metric_ != GreedyMetric::kDpf) {
+      // This shard's own dirty list is complete (its refresh above, plus the arrivals the
+      // driver appended before dispatch): mark its home tasks stale before the early pass.
+      // That covers every early-eligible task — all of its blocks live in this shard, so no
+      // foreign dirty list can affect its score. Foreign lists are walked after the fence.
+      if (shard.rindex.size() < last_version_.size()) {
+        shard.rindex.resize(last_version_.size());
+      }
+      MarkStaleShardTasks(shard, shard.dirty_ids, previous_cycle);
+    }
     shard.slots_moved |= shard.cache.Reserve(shard.task_indices.size());
     bool scoring_ok = true;
     for (size_t i : shard.task_indices) {
@@ -96,7 +106,15 @@ void AsyncScheduleEngine::ShardLoop(size_t s) {
     }
     lock.unlock();
 
-    // Late score pass (cross-shard block lists), then the local heap merge.
+    // Foreign shards' dirty lists are now visible (their phase-2 writes happened-before
+    // the fence): finish the marking pass, then the late score pass and local heap merge.
+    if (metric_ != GreedyMetric::kDpf) {
+      for (size_t src = 0; src < num_shards_; ++src) {
+        if (src != s) {
+          MarkStaleShardTasks(shard, shards_[src].dirty_ids, previous_cycle);
+        }
+      }
+    }
     if (scoring_ok) {
       for (size_t i : late) {
         if (!ScoreOneTask(shard, pending, i, previous_cycle)) {

@@ -223,27 +223,25 @@ double ScoreGreedyTask(GreedyMetric metric, const Task& task, const CapacitySnap
 }
 
 bool ShouldRescore(TaskCache& cached, const Task& task, GreedyMetric metric,
-                   uint64_t previous_cycle, std::span<const uint8_t> dirty) {
-  bool rescore = cached.last_seen != previous_cycle ||
-                 cached.blocks_ptr != task.blocks.data() ||
-                 cached.blocks_len != task.blocks.size();
-  if (rescore) {
+                   uint64_t previous_cycle, uint64_t cycle_stamp, bool& needs_index) {
+  needs_index = cached.last_seen != previous_cycle ||
+                cached.blocks_ptr != task.blocks.data() ||
+                cached.blocks_len != task.blocks.size();
+  if (needs_index) {
     cached.reject_vsum = kNoReject;  // New or re-resolved task: no feasibility memo.
-  } else if (metric != GreedyMetric::kDpf) {
-    for (BlockId j : task.blocks) {
-      if (dirty[static_cast<size_t>(j)]) {
-        rescore = true;
-        break;
-      }
-    }
+    return true;
   }
-  return rescore;
+  // Live cached entry: trust it unless the reverse-index marking pass stamped it stale
+  // this cycle. DPF never goes stale (scores read only total capacities).
+  return metric != GreedyMetric::kDpf && cached.stale_stamp == cycle_stamp;
 }
 
 void MergeScoreHeap(std::vector<HeapEntry>& heap, std::vector<HeapEntry>& fresh,
                     std::vector<HeapEntry>& scratch, const TaskCacheMap& cache,
-                    uint64_t cycle_stamp, bool& slots_moved, std::vector<size_t>* order_out) {
+                    uint64_t cycle_stamp, bool& slots_moved, uint64_t& merge_allocs,
+                    std::vector<size_t>* order_out) {
   std::sort(fresh.begin(), fresh.end(), HeapEntryBefore);
+  size_t scratch_capacity = scratch.capacity();
   scratch.clear();
   size_t hi = 0;
   size_t fi = 0;
@@ -281,6 +279,9 @@ void MergeScoreHeap(std::vector<HeapEntry>& heap, std::vector<HeapEntry>& fresh,
       scratch.push_back(entry);
     }
   }
+  if (scratch.capacity() != scratch_capacity) {
+    ++merge_allocs;  // Output buffer grew; steady-state cycles reuse the ping-pong pair.
+  }
   heap.swap(scratch);
   fresh.clear();
   slots_moved = false;
@@ -297,10 +298,16 @@ void ScheduleContext::Invalidate() {
   snapshot_.reset();
   last_version_.clear();
   version_now_.clear();
-  dirty_.clear();
+  group_seen_.clear();
+  dirty_stamp_.clear();
+  dirty_ids_.clear();
   member_sig_.clear();
   best_alpha_.clear();
   sig_scratch_.clear();
+  touched_stamp_.clear();
+  touched_ids_.clear();
+  active_ids_.clear();
+  rindex_.clear();
   cache_.Clear();
   heap_.clear();
   fresh_.clear();
@@ -319,72 +326,120 @@ void ScheduleContext::SyncBlocks(const BlockManager& blocks) {
   size_t count = blocks.block_count();
   size_t known = last_version_.size();
   DPACK_CHECK_MSG(count >= known, "blocks disappeared: use a fresh context per manager");
-  dirty_.assign(count, false);
+  dirty_ids_.clear();
+  dirty_stamp_.resize(count, 0);
   for (size_t j = known; j < count; ++j) {
     const PrivacyBlock& b = blocks.block(static_cast<BlockId>(j));
     snapshot_->Append(b.AvailableCurve(), b.capacity());
     last_version_.push_back(b.version());
+    version_now_.push_back(b.version());
     member_sig_.push_back(kMemberSigSeed);
     best_alpha_.push_back(0);
     requesters_.emplace_back();
-    dirty_[j] = true;
+    rindex_.emplace_back();
+    MarkDirtyBlock(j);
   }
-  for (size_t j = 0; j < known; ++j) {
-    const PrivacyBlock& b = blocks.block(static_cast<BlockId>(j));
-    if (b.version() != last_version_[j]) {
+  // Drill into version-tree groups whose sum advanced since the last cycle — O(groups +
+  // changed) instead of a version scan over every block. version_now_ (the allocation
+  // walk's contiguous mirror) is persistent: the walk's commits keep it current, and this
+  // drill re-syncs whatever changed outside the walk (unlocks), so after it
+  // version_now_[j] == last_version_[j] == the block's current version for every j.
+  const BlockVersionTree& tree = blocks.version_tree();
+  group_seen_.resize(tree.group_count(), 0);
+  for (size_t g = 0; g < group_seen_.size(); ++g) {
+    uint64_t sum = tree.group_sum(g);
+    if (sum == group_seen_[g]) {
+      continue;
+    }
+    group_seen_[g] = sum;
+    size_t begin = g << BlockVersionTree::kGroupShift;
+    size_t end = std::min(begin + (size_t{1} << BlockVersionTree::kGroupShift), count);
+    for (size_t j = begin; j < end; ++j) {
+      const PrivacyBlock& b = blocks.block(static_cast<BlockId>(j));
+      if (b.version() == last_version_[j]) {
+        continue;
+      }
       last_version_[j] = b.version();
+      version_now_[j] = b.version();
       snapshot_->RefreshAvailable(static_cast<BlockId>(j), b.AvailableCurve());
-      dirty_[j] = true;
+      MarkDirtyBlock(j);
       ++stats_.blocks_refreshed;
     }
-  }
-  // Mirror the versions contiguously for the allocation walk's memo sums (the walk reads
-  // them once per (task, block) reference; commits made by the walk update the mirror).
-  version_now_.resize(count);
-  for (size_t j = 0; j < count; ++j) {
-    version_now_[j] = last_version_[j];
   }
 }
 
 void ScheduleContext::MarkMembershipDirty(std::span<const Task> pending) {
-  sig_scratch_.assign(member_sig_.size(), kMemberSigSeed);
+  size_t count = member_sig_.size();
+  touched_stamp_.resize(count, 0);
+  sig_scratch_.resize(count, kMemberSigSeed);  // Entries are (re)seeded lazily on touch.
+  touched_ids_.clear();
   for (const Task& task : pending) {
-    for (BlockId j : task.blocks) {
-      DPACK_CHECK(j >= 0 && static_cast<size_t>(j) < sig_scratch_.size());
-      sig_scratch_[static_cast<size_t>(j)] =
-          MemberSigMix(sig_scratch_[static_cast<size_t>(j)], static_cast<uint64_t>(task.id));
+    for (BlockId id : task.blocks) {
+      size_t j = static_cast<size_t>(id);
+      DPACK_CHECK(id >= 0 && j < count);
+      if (touched_stamp_[j] != cycle_stamp_) {
+        touched_stamp_[j] = cycle_stamp_;
+        touched_ids_.push_back(id);
+        sig_scratch_[j] = kMemberSigSeed;
+      }
+      sig_scratch_[j] = MemberSigMix(sig_scratch_[j], static_cast<uint64_t>(task.id));
     }
   }
-  for (size_t j = 0; j < member_sig_.size(); ++j) {
+  // Blocks with requesters last cycle but none this cycle reset to the seed signature —
+  // the touched loop below cannot see them, so they are handled off the active list.
+  for (BlockId id : active_ids_) {
+    size_t j = static_cast<size_t>(id);
+    if (touched_stamp_[j] != cycle_stamp_ && member_sig_[j] != kMemberSigSeed) {
+      member_sig_[j] = kMemberSigSeed;
+      MarkDirtyBlock(j);
+    }
+  }
+  active_ids_.clear();
+  for (BlockId id : touched_ids_) {
+    size_t j = static_cast<size_t>(id);
     if (sig_scratch_[j] != member_sig_[j]) {
       member_sig_[j] = sig_scratch_[j];
-      dirty_[j] = true;
+      MarkDirtyBlock(j);
+    }
+    if (member_sig_[j] != kMemberSigSeed) {
+      active_ids_.push_back(id);
+    }
+  }
+}
+
+void ScheduleContext::MarkStaleTasks(uint64_t previous_cycle) {
+  for (BlockId id : dirty_ids_) {
+    std::vector<TaskId>& tasks = rindex_[static_cast<size_t>(id)];
+    for (size_t i = 0; i < tasks.size();) {
+      size_t slot = cache_.Find(tasks[i]);
+      if (slot == TaskCacheMap::kNpos || cache_.at(slot).last_seen != previous_cycle) {
+        tasks[i] = tasks.back();  // Dead entry (granted, evicted, or purged): prune.
+        tasks.pop_back();
+        continue;
+      }
+      cache_.at(slot).stale_stamp = cycle_stamp_;
+      ++i;
     }
   }
 }
 
 void ScheduleContext::RecomputeDirtyBestAlphas(std::span<const Task> pending) {
-  bool any_dirty = false;
-  for (size_t j = 0; j < dirty_.size(); ++j) {
-    if (dirty_[j]) {
-      requesters_[j].clear();
-      any_dirty = true;
-    }
-  }
-  if (!any_dirty) {
+  if (dirty_ids_.empty()) {
     return;
   }
+  for (BlockId id : dirty_ids_) {
+    requesters_[static_cast<size_t>(id)].clear();
+  }
   for (size_t i = 0; i < pending.size(); ++i) {
-    for (BlockId j : pending[i].blocks) {
-      if (dirty_[static_cast<size_t>(j)]) {
-        requesters_[static_cast<size_t>(j)].push_back(i);
+    for (BlockId id : pending[i].blocks) {
+      if (dirty_stamp_[static_cast<size_t>(id)] == cycle_stamp_) {
+        requesters_[static_cast<size_t>(id)].push_back(i);
       }
     }
   }
-  for (size_t j = 0; j < dirty_.size(); ++j) {
-    if (!dirty_[j]) {
-      continue;
-    }
+  // Per-block solves are independent, so dirty-list order (vs id order) changes nothing.
+  for (BlockId id : dirty_ids_) {
+    size_t j = static_cast<size_t>(id);
     best_alpha_[j] = BestAlphaForBlock(pending, requesters_[j],
                                        snapshot_->available(static_cast<BlockId>(j)), eta_);
     ++stats_.best_alpha_recomputes;
@@ -400,7 +455,8 @@ void ScheduleContext::PopHeapIntoOrder() {
   // ones (fresh_) under the reference sort's total order, emitting batch indices into
   // order_; see MergeScoreHeap.
   order_.clear();
-  MergeScoreHeap(heap_, fresh_, merged_, cache_, cycle_stamp_, slots_moved_, &order_);
+  MergeScoreHeap(heap_, fresh_, merged_, cache_, cycle_stamp_, slots_moved_,
+                 stats_.merge_allocs, &order_);
 }
 
 std::vector<size_t> ScheduleContext::AllocateWithMemos(std::span<const Task> pending,
@@ -428,6 +484,12 @@ std::vector<size_t> ScheduleContext::ScheduleBatch(std::span<const Task> pending
   SyncBlocks(blocks);
   if (metric_ == GreedyMetric::kDpack) {
     MarkMembershipDirty(pending);
+  }
+  if (metric_ != GreedyMetric::kDpf) {
+    // Dirty set complete (capacity + membership): stamp affected cached tasks stale.
+    MarkStaleTasks(previous_cycle);
+  }
+  if (metric_ == GreedyMetric::kDpack) {
     RecomputeDirtyBestAlphas(pending);
   }
 
@@ -448,12 +510,21 @@ std::vector<size_t> ScheduleContext::ScheduleBatch(std::span<const Task> pending
       duplicate_ids = true;
       break;
     }
-    bool rescore = ShouldRescore(cached, task, metric_, previous_cycle, dirty_);
+    bool needs_index = false;
+    bool rescore =
+        ShouldRescore(cached, task, metric_, previous_cycle, cycle_stamp_, needs_index);
     cached.last_seen = cycle_stamp_;
     cached.index = i;
     if (!rescore) {
       ++stats_.tasks_reused;
       continue;
+    }
+    if (needs_index && metric_ != GreedyMetric::kDpf) {
+      // New or re-resolved block list: register the task with each block so future dirty
+      // blocks reach it through the reverse index. (DPF never consults the index.)
+      for (BlockId j : task.blocks) {
+        rindex_[static_cast<size_t>(j)].push_back(task.id);
+      }
     }
     cached.score = ScoreTask(task);
     cached.generation = next_generation_++;

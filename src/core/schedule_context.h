@@ -95,6 +95,10 @@ struct ScheduleContextStats {
   uint64_t blocks_refreshed = 0;       // Snapshot entries refreshed (version changes).
   uint64_t best_alpha_recomputes = 0;  // Per-block best-alpha subproblems solved.
   uint64_t full_recomputes = 0;        // Fallbacks to RecomputeScheduleBatch.
+  // Heap-merge buffer growths (MergeScoreHeap scratch / the sharded N-way merge output).
+  // The merge buffers persist across cycles, so steady-state cycles perform zero merge
+  // allocations — pinned by tests and gated at zero in bench/baseline.json.
+  uint64_t merge_allocs = 0;
   uint64_t shards = 1;                 // Shard count of the engine that produced these stats.
 
   // Async engine (AsyncScheduleEngine) counters; zero for the synchronous engines.
@@ -118,6 +122,7 @@ struct ScheduleContextStats {
     tasks_reused += other.tasks_reused;
     blocks_refreshed += other.blocks_refreshed;
     best_alpha_recomputes += other.best_alpha_recomputes;
+    merge_allocs += other.merge_allocs;
     async_early_scores += other.async_early_scores;
   }
 
@@ -134,6 +139,7 @@ struct ScheduleContextStats {
     delta.blocks_refreshed -= before.blocks_refreshed;
     delta.best_alpha_recomputes -= before.best_alpha_recomputes;
     delta.full_recomputes -= before.full_recomputes;
+    delta.merge_allocs -= before.merge_allocs;
     delta.async_early_scores -= before.async_early_scores;
     delta.async_stale_publishes -= before.async_stale_publishes;
     delta.async_wasted_rescores -= before.async_wasted_rescores;
@@ -152,6 +158,10 @@ struct TaskCache {
   // Cycle stamp: live iff == current cycle. ~0 = never pending (fresh entry; stamps are
   // small counters, so it matches no cycle); 0 = dead (granted).
   uint64_t last_seen = ~0ULL;
+  // Set to the current cycle stamp by the reverse-index marking pass when one of the
+  // task's blocks went dirty this cycle — the O(changed) replacement for scanning the
+  // task's block list against a dirty bitmap. 0 (the default) matches no cycle.
+  uint64_t stale_stamp = 0;
   size_t index = 0;          // Position in the current cycle's batch.
   // Identity of the task's resolved block list, for change detection: the block vector's
   // buffer travels with the task on moves, so an unchanged (pointer, size) pair means an
@@ -233,15 +243,17 @@ class TaskCacheMap {
 double ScoreGreedyTask(GreedyMetric metric, const Task& task, const CapacitySnapshot& snapshot,
                        std::span<const size_t> best_alpha);
 
-// The score pass's reuse-vs-rescore decision for one task, given the cycle's per-block
-// dirty flags: a cache entry is only trustworthy if the task was pending in the
-// immediately preceding cycle (last_seen) with an unchanged block list (the vector buffer
-// travels with the task on moves; reallocation on late resolution changes the pointer),
-// and — for the capacity-aware metrics — none of its blocks is dirty (DPF scores depend
-// only on total capacities, which never change for a fixed block list). Clears the
-// feasibility memo when the task is new or re-resolved.
+// The score pass's reuse-vs-rescore decision for one task: a cache entry is only
+// trustworthy if the task was pending in the immediately preceding cycle (last_seen) with
+// an unchanged block list (the vector buffer travels with the task on moves; reallocation
+// on late resolution changes the pointer), and — for the capacity-aware metrics — the
+// reverse-index marking pass did not stamp it stale this cycle (DPF scores depend only on
+// total capacities, which never change for a fixed block list, so DPF ignores dirtiness).
+// Sets `needs_index` when the entry is new or re-resolved — the caller must (re)insert the
+// task into the per-block reverse index so future marking passes reach it — and clears the
+// feasibility memo in that case.
 bool ShouldRescore(TaskCache& cached, const Task& task, GreedyMetric metric,
-                   uint64_t previous_cycle, std::span<const uint8_t> dirty);
+                   uint64_t previous_cycle, uint64_t cycle_stamp, bool& needs_index);
 
 // Merges `heap` (persistent, fully sorted) with `fresh` (this cycle's rescored entries)
 // under HeapEntryBefore — exactly the reference sort's total order — dropping stale
@@ -249,9 +261,12 @@ bool ShouldRescore(TaskCache& cached, const Task& task, GreedyMetric metric,
 // `slots_moved`, entries re-resolve their cache slot via Find. The merged live entries
 // replace `heap` (via `scratch`), `fresh` is cleared, `slots_moved` reset. When
 // `order_out` is non-null, each surviving entry's batch index is appended in merge order.
+// `merge_allocs` is incremented when the merge had to grow its output buffer — the
+// ping-pong scratch persists across cycles, so steady-state cycles increment it zero times.
 void MergeScoreHeap(std::vector<HeapEntry>& heap, std::vector<HeapEntry>& fresh,
                     std::vector<HeapEntry>& scratch, const TaskCacheMap& cache,
-                    uint64_t cycle_stamp, bool& slots_moved, std::vector<size_t>* order_out);
+                    uint64_t cycle_stamp, bool& slots_moved, uint64_t& merge_allocs,
+                    std::vector<size_t>* order_out);
 
 // The CANRUN walk over `order` with feasibility memos — identical grants to
 // AllocateInOrder on the same order. Version sums are monotone (each version only grows),
@@ -348,7 +363,19 @@ class ScheduleContext : public ScheduleEngine {
  private:
   void SyncBlocks(const BlockManager& blocks);
   void MarkMembershipDirty(std::span<const Task> pending);
+  // Walks this cycle's dirty blocks and stamps their live home tasks stale through the
+  // per-block reverse index — O(dirty blocks + their tasks), replacing the old
+  // per-pending-task dirty-bitmap scan. Dead index entries (granted/evicted tasks, or
+  // entries whose task was not pending last cycle) are swap-popped as they are met.
+  void MarkStaleTasks(uint64_t previous_cycle);
   void RecomputeDirtyBestAlphas(std::span<const Task> pending);
+  // Records block `j` as dirty this cycle, once (dirty_ids_ stays duplicate-free).
+  void MarkDirtyBlock(size_t j) {
+    if (dirty_stamp_[j] != cycle_stamp_) {
+      dirty_stamp_[j] = cycle_stamp_;
+      dirty_ids_.push_back(static_cast<BlockId>(j));
+    }
+  }
   double ScoreTask(const Task& task) const;
   // Pops the heap into order_ by merging the surviving sorted entries with the cycle's
   // freshly-rescored ones, dropping stale entries at pop time.
@@ -363,14 +390,28 @@ class ScheduleContext : public ScheduleEngine {
   uint64_t cycle_stamp_ = 0;  // Incremented per ScheduleBatch; task cache liveness clock.
 
   // Block-side cache. The snapshot is created on the first cycle (it needs the manager's
-  // grid) and then maintained incrementally.
+  // grid) and then maintained incrementally. Dirty state is tracked as an explicit id list
+  // (stamp-deduplicated) fed by the version-tree drill-down and the membership pass, so
+  // per-cycle cost scales with the number of changed blocks, never the block count.
   std::optional<CapacitySnapshot> snapshot_;
   std::vector<uint64_t> last_version_;  // Size doubles as the known-block count.
   std::vector<uint64_t> version_now_;  // Contiguous mirror of block versions for the walk.
-  std::vector<uint8_t> dirty_;         // Reset each cycle; sized to block count.
+  std::vector<uint64_t> group_seen_;   // Version-tree group sums at the last sync.
+  std::vector<uint64_t> dirty_stamp_;  // Per block: cycle stamp when last marked dirty.
+  std::vector<BlockId> dirty_ids_;     // This cycle's dirty blocks, duplicate-free.
   std::vector<uint64_t> member_sig_;   // DPack: per-block requester-set signature.
   std::vector<size_t> best_alpha_;     // DPack: cached best order per block.
   std::vector<uint64_t> sig_scratch_;  // Per-cycle membership signature accumulator.
+  // DPack membership bookkeeping, O(touched) per cycle: blocks whose signature was folded
+  // this cycle (stamp-deduplicated), and blocks whose current signature is non-seed (the
+  // only ones that can go dirty by *losing* all requesters).
+  std::vector<uint64_t> touched_stamp_;
+  std::vector<BlockId> touched_ids_;
+  std::vector<BlockId> active_ids_;
+  // Reverse index: per block, the ids of pending tasks requesting it. Tasks are inserted
+  // when (re)scored with a new or re-resolved block list — so every live cached score has
+  // its entries present — and lazily swap-popped when found dead by the marking pass.
+  std::vector<std::vector<TaskId>> rindex_;
 
   // Task-side cache and score heap. heap_ holds the persistent entries in fully-sorted
   // (hence heap-ordered) form; fresh_ collects this cycle's rescored entries before the

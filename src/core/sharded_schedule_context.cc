@@ -29,9 +29,10 @@ void ShardedScheduleContext::Invalidate() {
   snapshot_.reset();
   last_version_.clear();
   version_now_.clear();
-  dirty_.clear();
+  dirty_stamp_.clear();
   member_sig_.clear();
   sig_scratch_.clear();
+  touched_stamp_.clear();
   best_alpha_.clear();
   shards_.assign(num_shards_, ShardContext{});
   slot_of_index_.clear();
@@ -55,41 +56,40 @@ void ShardedScheduleContext::SyncArrivals(BlockManager& blocks) {
   partition_->Sync();
   size_t count = blocks.block_count();
   size_t known = last_version_.size();
-  dirty_.assign(count, 0);
+  for (ShardContext& shard : shards_) {
+    shard.dirty_ids.clear();
+  }
+  dirty_stamp_.resize(count, 0);
+  touched_stamp_.resize(count, 0);
+  sig_scratch_.resize(count, kMemberSigSeed);
   for (size_t g = known; g < count; ++g) {
     const PrivacyBlock& b = blocks.block(static_cast<BlockId>(g));
     snapshot_->Append(b.AvailableCurve(), b.capacity());
     last_version_.push_back(b.version());
+    version_now_.push_back(b.version());
     member_sig_.push_back(kMemberSigSeed);
     best_alpha_.push_back(0);
-    dirty_[g] = 1;
+    MarkShardDirty(static_cast<BlockId>(g));
   }
-  sig_scratch_.resize(count);
-  version_now_.resize(count);
 }
 
 void ShardedScheduleContext::SyncShardBlocks(size_t s, const BlockManager& blocks,
                                              std::span<const Task> pending,
                                              size_t refresh_limit) {
   ShardContext& shard = shards_[s];
-  const std::vector<BlockId>& members = partition_->shard_members(s);
-  // The per-shard (epoch, version) clocks prove a clean shard's capacity state bit-identical
-  // since the last cycle: versions are monotone, so an unchanged sum means every member
-  // version — and hence every snapshot entry — is unchanged. Skip the scan entirely.
-  if (partition_->shard_dirty(s)) {
-    for (BlockId g : members) {
-      size_t gi = static_cast<size_t>(g);
-      if (gi >= refresh_limit) {
-        continue;  // Appended by SyncArrivals this cycle: already fresh and dirty.
-      }
-      const PrivacyBlock& b = blocks.block(g);
-      if (b.version() != last_version_[gi]) {
-        last_version_[gi] = b.version();
-        snapshot_->RefreshAvailable(g, b.AvailableCurve());
-        dirty_[gi] = 1;
-        ++shard.partial.blocks_refreshed;
-      }
-    }
+  // The partition's Sync computed the exact changed-id list per shard — O(changed), via
+  // the manager's version tree — so the refresh touches only those snapshot entries.
+  // Arrivals were appended fresh (and marked dirty) by SyncArrivals; the changed list
+  // never contains them.
+  for (BlockId g : partition_->shard_changed(s)) {
+    size_t gi = static_cast<size_t>(g);
+    DPACK_CHECK(gi < refresh_limit);
+    const PrivacyBlock& b = blocks.block(g);
+    last_version_[gi] = b.version();
+    version_now_[gi] = b.version();
+    snapshot_->RefreshAvailable(g, b.AvailableCurve());
+    MarkShardDirty(g);
+    ++shard.partial.blocks_refreshed;
   }
   if (metric_ != GreedyMetric::kDpack) {
     return;
@@ -97,53 +97,65 @@ void ShardedScheduleContext::SyncShardBlocks(size_t s, const BlockManager& block
   // Membership signatures for owned blocks: best alphas depend on the requester set, so a
   // membership change (arrival, grant, eviction) dirties a block even when no capacity
   // changed. Every shard scans the whole batch but mixes only its owned blocks, so the
-  // per-block signature streams are identical to the single-shard engine's.
-  for (BlockId g : members) {
-    sig_scratch_[static_cast<size_t>(g)] = kMemberSigSeed;
-  }
+  // per-block signature streams are identical to the single-shard engine's. Touched
+  // entries are seeded lazily, and blocks that *lost* all requesters are handled off the
+  // owned active list — O(batch refs + prev active), never O(members).
+  shard.touched_ids.clear();
   for (const Task& task : pending) {
     for (BlockId j : task.blocks) {
-      DPACK_CHECK(j >= 0 && static_cast<size_t>(j) < sig_scratch_.size());
-      if (partition_->ShardOf(j) == s) {
-        sig_scratch_[static_cast<size_t>(j)] =
-            MemberSigMix(sig_scratch_[static_cast<size_t>(j)], static_cast<uint64_t>(task.id));
+      size_t ji = static_cast<size_t>(j);
+      DPACK_CHECK(j >= 0 && ji < sig_scratch_.size());
+      if (partition_->ShardOf(j) != s) {
+        continue;
       }
+      if (touched_stamp_[ji] != cycle_stamp_) {
+        touched_stamp_[ji] = cycle_stamp_;
+        shard.touched_ids.push_back(j);
+        sig_scratch_[ji] = kMemberSigSeed;
+      }
+      sig_scratch_[ji] = MemberSigMix(sig_scratch_[ji], static_cast<uint64_t>(task.id));
     }
   }
-  for (BlockId g : members) {
+  for (BlockId g : shard.active_ids) {
+    size_t gi = static_cast<size_t>(g);
+    if (touched_stamp_[gi] != cycle_stamp_ && member_sig_[gi] != kMemberSigSeed) {
+      member_sig_[gi] = kMemberSigSeed;
+      MarkShardDirty(g);
+    }
+  }
+  shard.active_ids.clear();
+  for (BlockId g : shard.touched_ids) {
     size_t gi = static_cast<size_t>(g);
     if (sig_scratch_[gi] != member_sig_[gi]) {
       member_sig_[gi] = sig_scratch_[gi];
-      dirty_[gi] = 1;
+      MarkShardDirty(g);
+    }
+    if (member_sig_[gi] != kMemberSigSeed) {
+      shard.active_ids.push_back(g);
     }
   }
   // Requester lists and best-alpha subproblems for the dirty owned blocks. Requesters are
   // collected in batch order, matching ComputeBestAlphas' item order exactly.
-  if (shard.requesters.size() < members.size()) {
-    shard.requesters.resize(members.size());
-  }
-  bool any_dirty = false;
-  for (BlockId g : members) {
-    if (dirty_[static_cast<size_t>(g)]) {
-      shard.requesters[partition_->LocalIndex(g)].clear();
-      any_dirty = true;
-    }
-  }
-  if (!any_dirty) {
+  if (shard.dirty_ids.empty()) {
     return;
+  }
+  if (shard.requesters.size() < partition_->shard_members(s).size()) {
+    shard.requesters.resize(partition_->shard_members(s).size());
+  }
+  for (BlockId g : shard.dirty_ids) {
+    shard.requesters[partition_->LocalIndex(g)].clear();
   }
   for (size_t i = 0; i < pending.size(); ++i) {
     for (BlockId j : pending[i].blocks) {
-      if (partition_->ShardOf(j) == s && dirty_[static_cast<size_t>(j)]) {
+      if (partition_->ShardOf(j) == s &&
+          dirty_stamp_[static_cast<size_t>(j)] == cycle_stamp_) {
         shard.requesters[partition_->LocalIndex(j)].push_back(i);
       }
     }
   }
-  for (BlockId g : members) {
+  // Per-block solves are independent, so dirty-list order (vs member order) is immaterial.
+  for (BlockId g : shard.dirty_ids) {
     size_t gi = static_cast<size_t>(g);
-    if (!dirty_[gi]) {
-      continue;
-    }
     best_alpha_[gi] = BestAlphaForBlock(pending, shard.requesters[partition_->LocalIndex(g)],
                                         snapshot_->available(g), eta_);
     ++shard.partial.best_alpha_recomputes;
@@ -165,12 +177,21 @@ bool ShardedScheduleContext::ScoreOneTask(ShardContext& shard, std::span<const T
     shard.duplicate = true;
     return false;
   }
-  bool rescore = ShouldRescore(cached, task, metric_, previous_cycle, dirty_);
+  bool needs_index = false;
+  bool rescore =
+      ShouldRescore(cached, task, metric_, previous_cycle, cycle_stamp_, needs_index);
   cached.last_seen = cycle_stamp_;
   cached.index = i;
   if (!rescore) {
     ++shard.partial.tasks_reused;
     return true;
+  }
+  if (needs_index && metric_ != GreedyMetric::kDpf) {
+    // New or re-resolved block list: register the task in its home shard's reverse index
+    // under each requested block (any shard's block — the index is task-sharded).
+    for (BlockId j : task.blocks) {
+      shard.rindex[static_cast<size_t>(j)].push_back(task.id);
+    }
   }
   cached.score = ScoreTask(task);
   cached.generation = shard.next_generation++;
@@ -181,9 +202,37 @@ bool ShardedScheduleContext::ScoreOneTask(ShardContext& shard, std::span<const T
   return true;
 }
 
+void ShardedScheduleContext::MarkStaleShardTasks(ShardContext& shard,
+                                                 std::span<const BlockId> dirty_ids,
+                                                 uint64_t previous_cycle) {
+  for (BlockId id : dirty_ids) {
+    std::vector<TaskId>& tasks = shard.rindex[static_cast<size_t>(id)];
+    for (size_t i = 0; i < tasks.size();) {
+      size_t slot = shard.cache.Find(tasks[i]);
+      if (slot == TaskCacheMap::kNpos || shard.cache.at(slot).last_seen != previous_cycle) {
+        tasks[i] = tasks.back();  // Dead entry (granted, evicted, or purged): prune.
+        tasks.pop_back();
+        continue;
+      }
+      shard.cache.at(slot).stale_stamp = cycle_stamp_;
+      ++i;
+    }
+  }
+}
+
 void ShardedScheduleContext::ScoreShardTasks(size_t s, std::span<const Task> pending,
                                              uint64_t previous_cycle) {
   ShardContext& shard = shards_[s];
+  if (metric_ != GreedyMetric::kDpf) {
+    // Every shard's phase-2 dirty list is complete and visible (the pool join): stamp this
+    // shard's affected home tasks stale before their reuse-vs-rescore decisions.
+    if (shard.rindex.size() < last_version_.size()) {
+      shard.rindex.resize(last_version_.size());
+    }
+    for (size_t src = 0; src < num_shards_; ++src) {
+      MarkStaleShardTasks(shard, shards_[src].dirty_ids, previous_cycle);
+    }
+  }
   shard.slots_moved |= shard.cache.Reserve(shard.task_indices.size());
   for (size_t i : shard.task_indices) {
     if (!ScoreOneTask(shard, pending, i, previous_cycle)) {
@@ -198,7 +247,7 @@ void ShardedScheduleContext::MergeShardHeap(ShardContext& shard) {
   // MergeScoreHeap); no order is emitted here — the global order comes from MergeOrder's
   // N-way merge over the shard heaps.
   MergeScoreHeap(shard.heap, shard.fresh, shard.merged, shard.cache, cycle_stamp_,
-                 shard.slots_moved, /*order_out=*/nullptr);
+                 shard.slots_moved, shard.partial.merge_allocs, /*order_out=*/nullptr);
 }
 
 void ShardedScheduleContext::MergeOrder() {
@@ -300,12 +349,9 @@ std::vector<size_t> ShardedScheduleContext::ScheduleBatch(std::span<const Task> 
     return RecomputeScheduleBatch(metric_, eta_, pending, blocks);
   }
 
-  // Mirror the versions contiguously for the allocation walk's memo sums (after the phases:
-  // phase 2 is what advances last_version_).
-  for (size_t g = 0; g < last_version_.size(); ++g) {
-    version_now_[g] = last_version_[g];
-  }
-
+  // version_now_ is already current: arrivals appended it, phase 2 overwrote exactly the
+  // changed entries (owner-written; published by RunPhases returning), and the previous
+  // walk's commits kept it in sync in between — no O(blocks) mirror copy.
   MergeOrder();
   std::vector<size_t> granted = AllocateWithMemos(pending, blocks);
 

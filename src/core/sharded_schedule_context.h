@@ -104,6 +104,17 @@ class ShardedScheduleContext : public ScheduleEngine {
     std::vector<HeapEntry> merged;  // Scratch for the merge.
     std::vector<size_t> task_indices;  // Batch indices of home tasks, this cycle.
     std::vector<std::vector<size_t>> requesters;  // Per owned block (local index), DPack.
+    // This cycle's dirty *owned* blocks (capacity or membership), duplicate-free via the
+    // shared dirty_stamp_. Written by the owning shard in phase 2 (arrivals are appended
+    // sequentially in phase 1); read by every shard's phase-3 marking pass.
+    std::vector<BlockId> dirty_ids;
+    // DPack membership bookkeeping for owned blocks (see ScheduleContext): blocks whose
+    // signature was folded this cycle, and blocks whose current signature is non-seed.
+    std::vector<BlockId> touched_ids;
+    std::vector<BlockId> active_ids;
+    // Reverse index over *home tasks*: per global block id, the ids of this shard's home
+    // tasks requesting it. Only ever touched by the owning task shard.
+    std::vector<std::vector<TaskId>> rindex;
     uint64_t next_generation = 1;
     bool slots_moved = false;  // Set on rehash/purge; entries re-resolve at next merge.
     bool duplicate = false;    // Home batch contained a repeated task id this cycle.
@@ -130,6 +141,21 @@ class ShardedScheduleContext : public ScheduleEngine {
                        size_t refresh_limit);
   // Phase 3 body for one shard: score pass over home tasks, then the local heap merge.
   void ScoreShardTasks(size_t s, std::span<const Task> pending, uint64_t previous_cycle);
+  // Stamps `shard`'s home tasks stale through its reverse index for every block in
+  // `dirty_ids` (one source shard's dirty list). Touches only `shard`'s own cache and
+  // rindex, so a task shard may run it against any source shard's list once that list's
+  // phase-2 writes are visible (the pool join / the async refresh fence).
+  void MarkStaleShardTasks(ShardContext& shard, std::span<const BlockId> dirty_ids,
+                           uint64_t previous_cycle);
+  // Records owned block `id` as dirty this cycle on its owning shard's list, once.
+  // Phase-2 callers must own `id`'s shard (disjoint writes); phase 1 calls sequentially.
+  void MarkShardDirty(BlockId id) {
+    size_t j = static_cast<size_t>(id);
+    if (dirty_stamp_[j] != cycle_stamp_) {
+      dirty_stamp_[j] = cycle_stamp_;
+      shards_[partition_->ShardOf(id)].dirty_ids.push_back(id);
+    }
+  }
   // One task of the score pass: the reuse-vs-rescore decision, cache update, and fresh-heap
   // append. Returns false when the task's id was already seen this cycle (duplicate batch:
   // the caller must stop and let ScheduleBatch fall back). `i` must be a home task of
@@ -158,10 +184,13 @@ class ShardedScheduleContext : public ScheduleEngine {
   // written only by its owning shard; the pool join publishes it to every reader.
   std::optional<CapacitySnapshot> snapshot_;
   std::vector<uint64_t> last_version_;  // Size doubles as the known-block count.
-  std::vector<uint64_t> version_now_;   // Contiguous mirror for the allocation walk.
-  std::vector<uint8_t> dirty_;  // Per-block dirty flag (uint8_t: disjoint parallel writes).
+  // Contiguous version mirror for the allocation walk. Persistent: arrivals append,
+  // phase-2 refreshes overwrite changed entries (owner-written), walk commits update.
+  std::vector<uint64_t> version_now_;
+  std::vector<uint64_t> dirty_stamp_;  // Per block: cycle stamp when last marked dirty.
   std::vector<uint64_t> member_sig_;   // DPack: per-block requester-set signature.
-  std::vector<uint64_t> sig_scratch_;  // Per-cycle signature accumulator.
+  std::vector<uint64_t> sig_scratch_;  // Per-cycle signature accumulator (lazily seeded).
+  std::vector<uint64_t> touched_stamp_;  // Per block: cycle stamp of last signature fold.
   std::vector<size_t> best_alpha_;     // DPack: cached best order per block.
 
   std::vector<ShardContext> shards_;

@@ -45,15 +45,21 @@
 namespace dpack {
 
 // Bump on any schema change; decoders reject other versions.
-inline constexpr uint32_t kSnapshotFormatVersion = 1;
+// v2: per-block slab placement (retired tier + dense slot), added with block retirement.
+inline constexpr uint32_t kSnapshotFormatVersion = 2;
 
 // One privacy block's durable state. `capacity` / `consumed` are per-order epsilons on the
-// snapshot's grid.
+// snapshot's grid. `retired` / `slot` are the block's slab placement (see
+// src/block/block_manager.h): each tier's slots form a dense permutation, validated by
+// ValidateSnapshot, and a retired block must be provably immutable (fully unlocked and
+// exhausted) — restoring reproduces the exact hot/retired layout.
 struct SnapshotBlockState {
   BlockId id = 0;
   double arrival_time = 0.0;
   double unlocked_fraction = 1.0;
   uint64_t version = 0;
+  bool retired = false;
+  uint64_t slot = 0;
   std::vector<double> capacity;
   std::vector<double> consumed;
 };

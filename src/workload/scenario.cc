@@ -36,6 +36,7 @@ void ValidateSpec(const ScenarioSpec& spec) {
   DPACK_CHECK(spec.zipf_levels >= 1);
   DPACK_CHECK(spec.zipf_exponent > 0.0);
   DPACK_CHECK(spec.pareto_shape > 0.0);
+  DPACK_CHECK(spec.capacity_divisor >= 1);
   DPACK_CHECK(spec.weight_lo > 0.0 && spec.weight_lo <= spec.weight_hi);
   DPACK_CHECK(spec.weight_pareto_shape > 0.0);
   DPACK_CHECK(spec.mu_blocks > 0.0);
@@ -208,6 +209,8 @@ double SampleEpsMin(const ScenarioSpec& spec, const SamplingTables& tables, Rng&
     }
     case DemandDistribution::kParetoEpsMin:
       return std::min(spec.eps_min_hi, rng.Pareto(spec.eps_min_lo, spec.pareto_shape));
+    case DemandDistribution::kCapacityFraction:
+      break;  // Demands are built in GenerateScenario; this sampler is never consulted.
   }
   return spec.eps_min;
 }
@@ -302,13 +305,28 @@ ScenarioWorkload GenerateScenario(const CurvePool& pool, const ScenarioSpec& spe
   Rng task_rng = root.Fork(kTaskStream);
   SamplingTables tables = BuildSamplingTables(pool, spec);
 
+  // kCapacityFraction demands bypass the mechanism pool: every task charges an exact
+  // 1/capacity_divisor share of the block capacity curve at every order.
+  std::vector<double> fraction_eps;
+  if (spec.demand == DemandDistribution::kCapacityFraction) {
+    fraction_eps = BlockCapacityCurve(pool.grid(), spec.eps_g, spec.delta_g).epsilons();
+    for (double& eps : fraction_eps) {
+      eps /= static_cast<double>(spec.capacity_divisor);
+    }
+  }
+
   ScenarioWorkload workload;
   workload.tasks.reserve(task_times.size());
   for (size_t i = 0; i < task_times.size(); ++i) {
-    size_t curve = SampleCurveIndex(pool, spec, tables, task_rng);
-    double eps = SampleEpsMin(spec, tables, task_rng);
-    Task task(static_cast<TaskId>(i), SampleWeight(spec, task_rng),
-              pool.ShiftedToEpsMin(curve, eps));
+    RdpCurve demand = [&] {
+      if (spec.demand == DemandDistribution::kCapacityFraction) {
+        return RdpCurve(pool.grid(), fraction_eps);
+      }
+      size_t curve = SampleCurveIndex(pool, spec, tables, task_rng);
+      double eps = SampleEpsMin(spec, tables, task_rng);
+      return pool.ShiftedToEpsMin(curve, eps);
+    }();
+    Task task(static_cast<TaskId>(i), SampleWeight(spec, task_rng), std::move(demand));
     task.arrival_time = task_times[i];
     task.timeout = SampleTimeout(spec, task_rng);
     AssignBlocks(task, spec, block_times, task_rng);
@@ -471,6 +489,31 @@ ScenarioSpec TrickleDrain() {
   return spec;
 }
 
+ScenarioSpec RetirementChurn() {
+  // Stress for the block-retirement path: capacity-fraction demands make every block
+  // exhaustible in exactly capacity_divisor grants, most-recent-k selection concentrates
+  // commits on the newest blocks, and fast unlocking (unlock_steps = 2) makes exhausted
+  // blocks eligible to retire while the run is still granting — so the hot slab compacts
+  // continuously under load, including across the matrix harness's kill+resume trials.
+  ScenarioSpec spec;
+  spec.name = "retirement_churn";
+  spec.arrival = ArrivalProcess::kPoisson;
+  spec.task_span = 14.0;
+  spec.task_rate = 8.0;
+  spec.num_blocks = 24;
+  spec.block_interval = 0.5;
+  spec.mix = MechanismMix::kUniformPool;  // Ignored by kCapacityFraction; kept canonical.
+  spec.demand = DemandDistribution::kCapacityFraction;
+  spec.capacity_divisor = 6;
+  spec.selection = BlockSelectionPolicy::kMostRecentK;
+  spec.mu_blocks = 2.0;
+  spec.sigma_blocks = 1.0;
+  spec.timeouts = TimeoutRegime::kFixedTimeout;
+  spec.timeout = 3.0;
+  spec.unlock_steps = 2;
+  return spec;
+}
+
 using ScenarioFactory = ScenarioSpec (*)();
 
 struct RegistryEntry {
@@ -479,9 +522,10 @@ struct RegistryEntry {
 };
 
 constexpr RegistryEntry kRegistry[] = {
-    {"steady_poisson", &SteadyPoisson}, {"bursty_hotspot", &BurstyHotspot},
-    {"diurnal_zipf", &DiurnalZipf},     {"cohort_skew", &CohortSkew},
-    {"jittered_heavy", &JitteredHeavy}, {"trickle_drain", &TrickleDrain},
+    {"steady_poisson", &SteadyPoisson},     {"bursty_hotspot", &BurstyHotspot},
+    {"diurnal_zipf", &DiurnalZipf},         {"cohort_skew", &CohortSkew},
+    {"jittered_heavy", &JitteredHeavy},     {"trickle_drain", &TrickleDrain},
+    {"retirement_churn", &RetirementChurn},
 };
 
 }  // namespace

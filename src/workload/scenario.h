@@ -47,10 +47,14 @@ enum class MechanismMix {
 
 // Distribution of the per-task eps_min target (normalized demand at the best alpha).
 enum class DemandDistribution {
-  kFixedEpsMin,    // Every task demands eps_min.
-  kUniformEpsMin,  // Uniform in [eps_min_lo, eps_min_hi].
-  kZipfEpsMin,     // Zipf over a log-spaced ladder of zipf_levels values in [lo, hi].
-  kParetoEpsMin,   // Pareto(eps_min_lo, pareto_shape) truncated to [lo, hi].
+  kFixedEpsMin,        // Every task demands eps_min.
+  kUniformEpsMin,      // Uniform in [eps_min_lo, eps_min_hi].
+  kZipfEpsMin,         // Zipf over a log-spaced ladder of zipf_levels values in [lo, hi].
+  kParetoEpsMin,       // Pareto(eps_min_lo, pareto_shape) truncated to [lo, hi].
+  kCapacityFraction,   // Every task demands capacity / capacity_divisor at *every* order —
+                       // the one demand shape under which capacity_divisor grants exhaust a
+                       // block at every usable order simultaneously (the admission slack
+                       // absorbs the summation round-off), driving block retirement.
 };
 
 enum class WeightDistribution {
@@ -110,6 +114,7 @@ struct ScenarioSpec {
   double zipf_exponent = 1.2;
   size_t zipf_levels = 8;
   double pareto_shape = 0.8;
+  size_t capacity_divisor = 8;  // kCapacityFraction: grants needed to exhaust one block.
 
   // Weights.
   WeightDistribution weights = WeightDistribution::kUnitWeight;

@@ -61,6 +61,33 @@ TEST_F(ScheduleContextTest, SteadyStateReusesEveryScore) {
   }
 }
 
+TEST_F(ScheduleContextTest, SteadyStateCyclesDoZeroMergeAllocations) {
+  // The N-way merge's scratch buffers persist across cycles: after warm-up, re-merging the
+  // same-size batch must not allocate. merge_allocs counts scratch capacity growth and is
+  // gated at zero per steady-state cycle in bench/baseline.json.
+  for (GreedyMetric metric :
+       {GreedyMetric::kDpack, GreedyMetric::kDpf, GreedyMetric::kArea}) {
+    ScheduleContext context(metric);
+    std::vector<Task> pending;
+    for (TaskId i = 0; i < 12; ++i) {
+      pending.push_back(OversizedTask(i, {i % 4}));
+    }
+    // Two warm-up merges: the merge ping-pongs between two persistent buffers, so both
+    // reach full capacity only after the second cycle.
+    EXPECT_TRUE(context.ScheduleBatch(pending, blocks_).empty());
+    blocks_.block(3).Commit(CapacityFraction(0.001));
+    EXPECT_TRUE(context.ScheduleBatch(pending, blocks_).empty());
+    uint64_t warmup = context.stats().merge_allocs;
+    for (int cycle = 0; cycle < 5; ++cycle) {
+      // Dirty a block each cycle so the merge actually re-runs with fresh entries.
+      blocks_.block(cycle % 4).Commit(CapacityFraction(0.001));
+      EXPECT_TRUE(context.ScheduleBatch(pending, blocks_).empty());
+      EXPECT_EQ(context.stats().merge_allocs, warmup)
+          << "metric " << static_cast<int>(metric) << " cycle " << cycle;
+    }
+  }
+}
+
 TEST_F(ScheduleContextTest, CommitDirtiesOnlyTouchedBlocksTasks) {
   ScheduleContext context(GreedyMetric::kArea);
   std::vector<Task> pending;

@@ -66,13 +66,14 @@ ScenarioSpec RandomSpec(Rng& rng) {
   spec.sigma_alpha = rng.Uniform(0.0, 4.0);
   spec.best_alpha_skew = rng.Uniform(0.5, 3.0);
 
-  spec.demand = static_cast<DemandDistribution>(rng.UniformInt(0, 3));
+  spec.demand = static_cast<DemandDistribution>(rng.UniformInt(0, 4));
   spec.eps_min = rng.Uniform(0.02, 0.3);
   spec.eps_min_lo = rng.Uniform(0.01, 0.05);
   spec.eps_min_hi = spec.eps_min_lo + rng.Uniform(0.05, 0.45);
   spec.zipf_exponent = rng.Uniform(0.5, 2.0);
   spec.zipf_levels = static_cast<size_t>(rng.UniformInt(2, 10));
   spec.pareto_shape = rng.Uniform(0.5, 1.5);
+  spec.capacity_divisor = static_cast<size_t>(rng.UniformInt(1, 10));
 
   spec.weights = static_cast<WeightDistribution>(rng.UniformInt(0, 2));
   spec.weight_pareto_shape = rng.Uniform(0.8, 1.5);
@@ -126,6 +127,20 @@ void CheckBudgetSafety(const ClusterSnapshot& snapshot, const std::string& label
     EXPECT_TRUE(within_some_order)
         << label << " block " << block.id
         << " exceeds its (eps_g, delta_g) budget at every order";
+    // Retirement invariant: a retired block must be provably immutable — fully unlocked
+    // and consumed to within the admission slack at every usable order (so no future
+    // commit or unlock can ever touch it again).
+    if (block.retired) {
+      EXPECT_EQ(block.unlocked_fraction, 1.0)
+          << label << " retired block " << block.id << " is not fully unlocked";
+      for (size_t a = 0; a < capacity.size(); ++a) {
+        double cap = capacity.epsilon(a);
+        if (cap > 0.0) {
+          EXPECT_GE(block.consumed[a] + 1e-9 * (1.0 + cap), cap)
+              << label << " retired block " << block.id << " not exhausted at order " << a;
+        }
+      }
+    }
   }
 }
 

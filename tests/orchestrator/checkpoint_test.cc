@@ -198,7 +198,7 @@ TEST(CheckpointCodecTest, WrongVersionIsRejectedWithDiagnostic) {
   EXPECT_NE(parsed.error.find("version"), std::string::npos) << parsed.error;
 
   std::string json = EncodeSnapshotJson(snapshot);
-  size_t pos = json.find("\"version\":1");
+  size_t pos = json.find("\"version\":2");
   ASSERT_NE(pos, std::string::npos);
   json.replace(pos, 11, "\"version\":9");
   SnapshotParseResult json_parsed = DecodeSnapshotJson(json);
