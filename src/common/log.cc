@@ -2,14 +2,15 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+
+#include "src/common/thread_annotations.h"
 
 namespace dpack {
 
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
-std::mutex g_log_mutex;
+Mutex g_log_mutex;  // Serializes whole log lines onto stderr.
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -43,7 +44,7 @@ void LogMessage(LogLevel level, const char* file, int line, const std::string& m
       base = p + 1;
     }
   }
-  std::lock_guard<std::mutex> lock(g_log_mutex);
+  MutexLock lock(g_log_mutex);
   std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), base, line, message.c_str());
 }
 

@@ -11,10 +11,10 @@ WorkerPool::WorkerPool(size_t num_workers) {
 
 WorkerPool::~WorkerPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& worker : workers_) {
     worker.join();
   }
@@ -42,19 +42,21 @@ void WorkerPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
     }
     return;
   }
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // Drain stragglers from the previous generation: a worker that claimed nothing may still
   // be between its (empty) claim loop and its bookkeeping; resetting `next_` under it would
   // let it steal items from this generation with the old callable.
-  done_cv_.wait(lock, [&] { return executing_ == 0; });
+  while (executing_ != 0) {
+    done_cv_.Wait(mu_);
+  }
   fn_ = &fn;
   n_ = n;
   completed_ = 0;
   error_ = nullptr;
   next_.store(0, std::memory_order_relaxed);
   ++generation_;
-  lock.unlock();
-  work_cv_.notify_all();
+  lock.Unlock();
+  work_cv_.NotifyAll();
 
   // The caller participates instead of blocking idle.
   size_t mine = 0;
@@ -63,55 +65,59 @@ void WorkerPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
     try {
       fn(i);
     } catch (...) {
-      std::lock_guard<std::mutex> error_lock(mu_);
+      MutexLock error_lock(mu_);
       if (error_ == nullptr) {
         error_ = std::current_exception();
       }
     }
     ++mine;
   }
-  lock.lock();
+  lock.Lock();
   completed_ += mine;
-  done_cv_.wait(lock, [&] { return completed_ == n_; });
+  while (completed_ != n_) {
+    done_cv_.Wait(mu_);
+  }
   fn_ = nullptr;
   if (error_ != nullptr) {
     std::exception_ptr error = error_;
     error_ = nullptr;
-    std::rethrow_exception(error);
+    std::rethrow_exception(error);  // `lock` releases mu_ during unwind.
   }
 }
 
 void WorkerPool::WorkerLoop() {
   uint64_t seen = 0;
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   while (true) {
-    work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+    while (!stop_ && generation_ == seen) {
+      work_cv_.Wait(mu_);
+    }
     if (stop_) {
-      return;
+      return;  // `lock` releases mu_.
     }
     seen = generation_;
     const std::function<void(size_t)>* fn = fn_;
     size_t n = n_;
     ++executing_;
-    lock.unlock();
+    lock.Unlock();
     size_t mine = 0;
     for (size_t i = next_.fetch_add(1, std::memory_order_relaxed); i < n;
          i = next_.fetch_add(1, std::memory_order_relaxed)) {
       try {
         (*fn)(i);
       } catch (...) {
-        std::lock_guard<std::mutex> error_lock(mu_);
+        MutexLock error_lock(mu_);
         if (error_ == nullptr) {
           error_ = std::current_exception();
         }
       }
       ++mine;
     }
-    lock.lock();
+    lock.Lock();
     completed_ += mine;
     --executing_;
     if (completed_ == n_ || executing_ == 0) {
-      done_cv_.notify_all();
+      done_cv_.NotifyAll();
     }
   }
 }

@@ -6,18 +6,21 @@
 // finished. The mutex handoff at the join establishes happens-before between a phase's
 // writes and the next phase's reads, which is what lets the engine publish per-shard state
 // (snapshot refreshes, dirty bits, best alphas) without per-element synchronization.
+//
+// Lock discipline is machine-checked: every generation/completion field is GUARDED_BY(mu_)
+// and clang's -Wthread-safety proves ParallelFor/WorkerLoop never touch them unlocked.
 
 #ifndef SRC_COMMON_WORKER_POOL_H_
 #define SRC_COMMON_WORKER_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "src/common/thread_annotations.h"
 
 namespace dpack {
 
@@ -42,23 +45,23 @@ class WorkerPool {
   // item is independent; a failed one never blocks the drain), and the first captured
   // exception is rethrown here once every item has finished. The pool stays usable
   // afterwards — a later ParallelFor starts with a clean slate.
-  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn) EXCLUDES(mu_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mu_);
 
   std::vector<std::thread> workers_;
-  std::mutex mu_;
-  std::condition_variable work_cv_;  // Workers wait here for a new generation.
-  std::condition_variable done_cv_;  // The caller waits here for completion / drain.
-  const std::function<void(size_t)>* fn_ = nullptr;  // Guarded by mu_.
-  size_t n_ = 0;                                     // Guarded by mu_.
-  size_t completed_ = 0;                             // Items finished; guarded by mu_.
-  size_t executing_ = 0;  // Workers inside a claim loop; guarded by mu_.
-  uint64_t generation_ = 0;                          // Guarded by mu_.
-  bool stop_ = false;                                // Guarded by mu_.
-  std::exception_ptr error_;  // First exception thrown by an item; guarded by mu_.
-  std::atomic<size_t> next_{0};                      // Next unclaimed item.
+  Mutex mu_;
+  CondVar work_cv_;  // Workers wait here for a new generation.
+  CondVar done_cv_;  // The caller waits here for completion / drain.
+  const std::function<void(size_t)>* fn_ GUARDED_BY(mu_) = nullptr;
+  size_t n_ GUARDED_BY(mu_) = 0;
+  size_t completed_ GUARDED_BY(mu_) = 0;  // Items finished.
+  size_t executing_ GUARDED_BY(mu_) = 0;  // Workers inside a claim loop.
+  uint64_t generation_ GUARDED_BY(mu_) = 0;
+  bool stop_ GUARDED_BY(mu_) = false;
+  std::exception_ptr error_ GUARDED_BY(mu_);  // First exception thrown by an item.
+  std::atomic<size_t> next_{0};              // Next unclaimed item (lock-free claim ticket).
 };
 
 }  // namespace dpack

@@ -16,11 +16,11 @@ AsyncScheduleEngine::AsyncScheduleEngine(GreedyMetric metric, double eta, size_t
 
 AsyncScheduleEngine::~AsyncScheduleEngine() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  dispatch_cv_.notify_all();
-  barrier_cv_.notify_all();
+  dispatch_cv_.NotifyAll();
+  barrier_cv_.NotifyAll();
   for (std::thread& thread : threads_) {
     thread.join();
   }
@@ -37,18 +37,20 @@ bool AsyncScheduleEngine::AllBlocksHome(const Task& task, size_t s) const {
 
 void AsyncScheduleEngine::ShardLoop(size_t s) {
   uint64_t seen = 0;
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   while (true) {
-    dispatch_cv_.wait(lock, [&] { return stop_ || dispatch_seq_ != seen; });
+    while (!stop_ && dispatch_seq_ == seen) {
+      dispatch_cv_.Wait(mu_);
+    }
     if (stop_) {
-      return;
+      return;  // `lock` releases mu_.
     }
     seen = dispatch_seq_;
     std::span<const Task> pending = cycle_pending_;
     const BlockManager* blocks = cycle_blocks_;
     size_t refresh_limit = cycle_refresh_limit_;
     uint64_t previous_cycle = cycle_previous_;
-    lock.unlock();
+    lock.Unlock();
 
     // Stamp the shard's clocks (lock-free atomic reads) before touching any capacity
     // state; the publication step revalidates the stamp — the quiesce proof that no Sync
@@ -95,16 +97,18 @@ void AsyncScheduleEngine::ShardLoop(size_t s) {
 
     // Refresh fence: every shard's phase-2 writes must happen-before any cross-shard
     // scoring reads. The last thread through releases the others.
-    lock.lock();
+    lock.Lock();
     if (++refresh_done_ == num_shards_) {
-      barrier_cv_.notify_all();
+      barrier_cv_.NotifyAll();
     } else {
-      barrier_cv_.wait(lock, [&] { return refresh_done_ == num_shards_ || stop_; });
+      while (refresh_done_ != num_shards_ && !stop_) {
+        barrier_cv_.Wait(mu_);
+      }
       if (stop_) {
-        return;
+        return;  // `lock` releases mu_.
       }
     }
-    lock.unlock();
+    lock.Unlock();
 
     // Foreign shards' dirty lists are now visible (their phase-2 writes happened-before
     // the fence): finish the marking pass, then the late score pass and local heap merge.
@@ -133,10 +137,10 @@ void AsyncScheduleEngine::ShardLoop(size_t s) {
                   stamp.version == partition_->shard_version(s);
 
     // Publish: heap + stamp become visible to the driver through the mutex handoff.
-    lock.lock();
+    lock.Lock();
     stamps_[s] = stamp;
     if (++published_ == num_shards_) {
-      done_cv_.notify_one();
+      done_cv_.NotifyOne();
     }
   }
 }
@@ -144,7 +148,7 @@ void AsyncScheduleEngine::ShardLoop(size_t s) {
 bool AsyncScheduleEngine::RunPhases(std::span<const Task> pending, const BlockManager& blocks,
                                     size_t refresh_limit, uint64_t previous_cycle) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     cycle_pending_ = pending;
     cycle_blocks_ = &blocks;
     cycle_refresh_limit_ = refresh_limit;
@@ -153,11 +157,13 @@ bool AsyncScheduleEngine::RunPhases(std::span<const Task> pending, const BlockMa
     published_ = 0;
     ++dispatch_seq_;
   }
-  dispatch_cv_.notify_all();
+  dispatch_cv_.NotifyAll();
 
   // Quiesce: wait for every shard's publication, then validate every stamp.
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [&] { return published_ == num_shards_; });
+  MutexLock lock(mu_);
+  while (published_ != num_shards_) {
+    done_cv_.Wait(mu_);
+  }
   cycle_pending_ = {};
   cycle_blocks_ = nullptr;
   uint64_t stale = 0;

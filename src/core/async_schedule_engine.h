@@ -49,13 +49,12 @@
 #ifndef SRC_CORE_ASYNC_SCHEDULE_ENGINE_H_
 #define SRC_CORE_ASYNC_SCHEDULE_ENGINE_H_
 
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <span>
 #include <thread>
 #include <vector>
 
+#include "src/common/thread_annotations.h"
 #include "src/core/sharded_schedule_context.h"
 
 namespace dpack {
@@ -79,28 +78,31 @@ class AsyncScheduleEngine : public ShardedScheduleContext {
     bool valid = true;
   };
 
-  void ShardLoop(size_t s);
+  void ShardLoop(size_t s) EXCLUDES(mu_);
   bool AllBlocksHome(const Task& task, size_t s) const;
 
-  std::mutex mu_;
-  std::condition_variable dispatch_cv_;  // Shard threads wait here for a new cycle.
-  std::condition_variable barrier_cv_;   // The refresh fence among shard threads.
-  std::condition_variable done_cv_;      // The driver waits here for all publications.
+  Mutex mu_;
+  CondVar dispatch_cv_;  // Shard threads wait here for a new cycle.
+  CondVar barrier_cv_;   // The refresh fence among shard threads.
+  CondVar done_cv_;      // The driver waits here for all publications.
 
-  // Cycle inputs and progress; all guarded by mu_. The mutex handoffs are what establish
-  // happens-before for the unguarded shared engine state (base-class arrays), per the
-  // visibility contract in sharded_schedule_context.h.
-  uint64_t dispatch_seq_ = 0;
-  std::span<const Task> cycle_pending_;
-  const BlockManager* cycle_blocks_ = nullptr;
-  size_t cycle_refresh_limit_ = 0;
-  uint64_t cycle_previous_ = 0;
-  size_t refresh_done_ = 0;  // Shards past the refresh + early-score step.
-  size_t published_ = 0;     // Shards that published their heap this cycle.
-  bool stop_ = false;
-  std::vector<ClockStamp> stamps_;  // Per shard; written at publication.
+  // Cycle inputs and progress; all guarded by mu_ (machine-checked). The mutex handoffs
+  // are what establish happens-before for the unguarded shared engine state (base-class
+  // arrays), per the visibility contract in sharded_schedule_context.h.
+  uint64_t dispatch_seq_ GUARDED_BY(mu_) = 0;
+  std::span<const Task> cycle_pending_ GUARDED_BY(mu_);
+  const BlockManager* cycle_blocks_ GUARDED_BY(mu_) = nullptr;
+  size_t cycle_refresh_limit_ GUARDED_BY(mu_) = 0;
+  uint64_t cycle_previous_ GUARDED_BY(mu_) = 0;
+  // Shards past the refresh + early-score step.
+  size_t refresh_done_ GUARDED_BY(mu_) = 0;
+  // Shards that published their heap this cycle.
+  size_t published_ GUARDED_BY(mu_) = 0;
+  bool stop_ GUARDED_BY(mu_) = false;
+  std::vector<ClockStamp> stamps_ GUARDED_BY(mu_);  // Per shard; written at publication.
 
-  std::vector<std::vector<size_t>> late_;  // Per shard: cross-shard home tasks (scratch).
+  std::vector<std::vector<size_t>> late_;  // Per shard: cross-shard home tasks; each entry
+                                           // is touched only by its own shard thread.
   std::vector<std::thread> threads_;
 };
 

@@ -27,6 +27,10 @@ class ComputeDemandMap {
   size_t size() const { return demand_.size(); }
 
  private:
+  // Lookup-only by construction: the only reads are point lookups in Get() (Set() inserts;
+  // size() is a count), so no hash-iteration order can reach a grant decision. The
+  // grant *order* is the inner scheduler's; this map only prices each granted task.
+  // dpack-lint: allow(unordered-member): lookup-only — Get()/Set() point access, never iterated.
   std::unordered_map<TaskId, double> demand_;
 };
 

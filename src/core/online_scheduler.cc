@@ -94,8 +94,12 @@ size_t OnlineScheduler::RunCycle(double now) {
   });
   pending_.erase(evict_it, pending_.end());
 
+  // Wall-clock reads below time the cycle for AllocationMetrics only; the measured
+  // duration never feeds scoring, ordering, or feasibility, so grants stay deterministic.
+  // dpack-lint: allow(nondeterministic-source): metrics-only cycle timing, never feeds grants.
   auto start = std::chrono::steady_clock::now();
   std::vector<size_t> granted = inner_->ScheduleBatch(pending_, *blocks_);
+  // dpack-lint: allow(nondeterministic-source): metrics-only cycle timing, never feeds grants.
   double seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
   metrics_.RecordCycleRuntime(seconds);
 

@@ -279,6 +279,7 @@ void MergeScoreHeap(std::vector<HeapEntry>& heap, std::vector<HeapEntry>& fresh,
       scratch.push_back(entry);
     }
   }
+  // dpack-lint: allow(float-equality): size_t buffer-capacity bookkeeping, not a budget double.
   if (scratch.capacity() != scratch_capacity) {
     ++merge_allocs;  // Output buffer grew; steady-state cycles reuse the ping-pong pair.
   }

@@ -4,11 +4,11 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
-#include <condition_variable>
 #include <thread>
 
 #include "src/common/check.h"
 #include "src/common/log.h"
+#include "src/common/thread_annotations.h"
 
 namespace dpack {
 
@@ -154,7 +154,7 @@ OrchestratorRunResult ClusterOrchestrator::RunOnlineInternal(const ClusterSnapsh
   // Submission queue shared between the producer and the scheduler thread. Block arrivals
   // are communicated as a pending counter so all BlockManager mutation happens on the
   // scheduler thread.
-  std::mutex mu;
+  Mutex mu;
   std::vector<Task> submission_queue;
   size_t blocks_added =  // Online blocks already materialized (restored from the snapshot).
       snapshot != nullptr ? snapshot->blocks.size() - config_.offline_blocks : 0;
@@ -166,7 +166,7 @@ OrchestratorRunResult ClusterOrchestrator::RunOnlineInternal(const ClusterSnapsh
       std::this_thread::sleep_for(unit);
       double now = clock.load(std::memory_order_relaxed) + 1.0;
       clock.store(now, std::memory_order_release);
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(mu);
       blocks_released = std::max(blocks_released,
                                  std::min<size_t>(config_.online_blocks,
                                                   static_cast<size_t>(std::floor(now))));
@@ -180,7 +180,7 @@ OrchestratorRunResult ClusterOrchestrator::RunOnlineInternal(const ClusterSnapsh
         std::this_thread::sleep_for(std::chrono::microseconds(200));
       }
       store.RoundTrip(1);  // Claim creation.
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(mu);
       submission_queue.push_back(std::move(task));
     }
     producer_done.store(true, std::memory_order_release);
@@ -201,7 +201,7 @@ OrchestratorRunResult ClusterOrchestrator::RunOnlineInternal(const ClusterSnapsh
     std::vector<Task> batch;
     size_t release_target = 0;
     {
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(mu);
       batch.swap(submission_queue);
       release_target = blocks_released;
     }

@@ -25,7 +25,7 @@ void SimulatedStateStore::Put(const std::string& key, std::string value) {
   uint64_t chunks = size == 0 ? 1 : (size + kPutChunkBytes - 1) / kPutChunkBytes;
   bytes_written_.fetch_add(size, std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     values_[key] = std::move(value);
   }
   RoundTrip(chunks);
@@ -33,7 +33,7 @@ void SimulatedStateStore::Put(const std::string& key, std::string value) {
 
 std::optional<std::string> SimulatedStateStore::Get(const std::string& key) {
   RoundTrip(1);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = values_.find(key);
   if (it == values_.end()) {
     return std::nullopt;

@@ -18,9 +18,10 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
+
+#include "src/common/thread_annotations.h"
 
 namespace dpack {
 
@@ -52,8 +53,8 @@ class SimulatedStateStore {
   double latency_us_;
   std::atomic<uint64_t> operations_{0};
   std::atomic<uint64_t> bytes_written_{0};
-  std::mutex mu_;
-  std::map<std::string, std::string> values_;
+  Mutex mu_;
+  std::map<std::string, std::string> values_ GUARDED_BY(mu_);
 };
 
 }  // namespace dpack

@@ -174,8 +174,8 @@ TEST_P(AsyncEngineSoakTest, SingleShardAsync) {
 INSTANTIATE_TEST_SUITE_P(AllScoredMetrics, AsyncEngineSoakTest,
                          testing::Values(GreedyMetric::kDpack, GreedyMetric::kDpf,
                                          GreedyMetric::kArea),
-                         [](const testing::TestParamInfo<GreedyMetric>& info) {
-                           switch (info.param) {
+                         [](const testing::TestParamInfo<GreedyMetric>& param_info) {
+                           switch (param_info.param) {
                              case GreedyMetric::kDpack:
                                return "DPack";
                              case GreedyMetric::kDpf:

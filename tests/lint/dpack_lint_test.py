@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Self-test for scripts/dpack_lint.py: every rule must fire on its seeded fixture
+violation and stay quiet on the near-miss fixture and the real tree. This is what keeps
+the lint gate honest — a rule that silently stops matching fails here, not in review."""
+
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", ".."))
+LINT = os.path.join(REPO_ROOT, "scripts", "dpack_lint.py")
+FIXTURES = os.path.join(os.path.dirname(os.path.abspath(__file__)), "fixtures")
+
+# fixture file -> (lint-as repo path, rules that must fire)
+VIOLATIONS = {
+    "raw_mutex_violation.cc": ("src/common/queue.cc", {"raw-mutex"}),
+    "unordered_iteration_violation.cc": ("src/core/order.cc", {"unordered-iteration"}),
+    "unordered_member_violation.cc": ("src/core/tracker.cc", {"unordered-member"}),
+    "nondeterministic_source_violation.cc": ("src/core/jitter.cc",
+                                             {"nondeterministic-source"}),
+    "pointer_keyed_order_violation.cc": ("src/block/scores.cc", {"pointer-keyed-order"}),
+    "float_equality_violation.cc": ("src/block/budget.cc", {"float-equality"}),
+}
+
+
+def run_lint(*args):
+    return subprocess.run([sys.executable, LINT, "--root", REPO_ROOT, *args],
+                          capture_output=True, text=True)
+
+
+class FixtureViolations(unittest.TestCase):
+    def test_every_rule_fires_on_its_seeded_violation(self):
+        for fixture, (as_path, rules) in VIOLATIONS.items():
+            with self.subTest(fixture=fixture):
+                proc = run_lint("--fixture", os.path.join(FIXTURES, fixture),
+                                "--as", as_path)
+                self.assertEqual(proc.returncode, 1,
+                                 f"{fixture} should be rejected:\n{proc.stdout}")
+                for rule in rules:
+                    self.assertIn(f"[{rule}]", proc.stdout,
+                                  f"{fixture} should trip {rule}:\n{proc.stdout}")
+
+    def test_violations_fire_regardless_of_header_or_source_suffix(self):
+        proc = run_lint("--fixture",
+                        os.path.join(FIXTURES, "unordered_member_violation.cc"),
+                        "--as", "src/core/tracker.h")
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("[unordered-member]", proc.stdout)
+
+    def test_grant_ordering_rules_scoped_to_core_and_block(self):
+        # The same unordered iteration outside src/core|src/block is not in scope (the
+        # raw-mutex rule is the only tree-wide one).
+        proc = run_lint("--fixture",
+                        os.path.join(FIXTURES, "unordered_iteration_violation.cc"),
+                        "--as", "src/workload/order.cc")
+        self.assertEqual(proc.returncode, 0, proc.stdout)
+
+
+class NearMisses(unittest.TestCase):
+    def test_clean_fixture_produces_zero_findings(self):
+        proc = run_lint("--fixture", os.path.join(FIXTURES, "clean.cc"),
+                        "--as", "src/core/clean.cc")
+        self.assertEqual(proc.returncode, 0,
+                         f"near-miss fixture must be clean:\n{proc.stdout}")
+
+    def test_allow_annotation_requires_a_reason(self):
+        # An allow without a reason is not an allow: the annotation is a reviewed claim.
+        with tempfile.NamedTemporaryFile("w", suffix=".cc", delete=False) as fh:
+            fh.write("#include <unordered_map>\n"
+                     "// dpack-lint: allow(unordered-member):\n"
+                     "std::unordered_map<int, int> m;\n")
+            path = fh.name
+        try:
+            proc = run_lint("--fixture", path, "--as", "src/core/m.cc")
+            self.assertEqual(proc.returncode, 1, proc.stdout)
+            self.assertIn("[unordered-member]", proc.stdout)
+        finally:
+            os.unlink(path)
+
+    def test_allow_for_the_wrong_rule_does_not_suppress(self):
+        with tempfile.NamedTemporaryFile("w", suffix=".cc", delete=False) as fh:
+            fh.write("#include <unordered_map>\n"
+                     "// dpack-lint: allow(float-equality): wrong rule name.\n"
+                     "std::unordered_map<int, int> m;\n")
+            path = fh.name
+        try:
+            proc = run_lint("--fixture", path, "--as", "src/core/m.cc")
+            self.assertEqual(proc.returncode, 1, proc.stdout)
+        finally:
+            os.unlink(path)
+
+
+class RealTree(unittest.TestCase):
+    def test_tree_is_clean(self):
+        proc = run_lint()
+        self.assertEqual(proc.returncode, 0,
+                         f"the real tree must lint clean:\n{proc.stdout}{proc.stderr}")
+
+    def test_thread_annotations_header_is_the_only_raw_mutex_site(self):
+        # The exemption is exactly one file; linting the header's own content as any other
+        # path must fire, proving the exemption cannot widen silently.
+        header = os.path.join(REPO_ROOT, "src", "common", "thread_annotations.h")
+        proc = run_lint("--fixture", header, "--as", "src/common/other_header.h")
+        self.assertEqual(proc.returncode, 1, proc.stdout)
+        self.assertIn("[raw-mutex]", proc.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,14 @@
+// Seeded violation: bare float equality on budget quantities. Budget feasibility must go
+// through the blessed tolerance helpers (PrivacyBlock::CanAccept/CanCharge with their
+// 1e-9*(1+cap) slack); exact == on doubles is representation-dependent.
+namespace dpack {
+
+bool ExactlyExhausted(double consumed, double capacity) {
+  return consumed == capacity;  // <- float-equality must fire here.
+}
+
+bool DemandMatches(double demand, double granted) {
+  return granted != demand;  // <- and here.
+}
+
+}  // namespace dpack

@@ -1,0 +1,17 @@
+// Seeded violation: unseeded randomness and wall-clock reads in engine code. Grant paths
+// must be pure functions of (workload, seed, block state); src/common/rng.h is the blessed
+// seeded source, and clocks may only feed metrics (with an allow annotation).
+#include <chrono>
+#include <cstdlib>
+
+namespace dpack {
+
+double JitterScore(double score) {
+  return score + static_cast<double>(rand()) / RAND_MAX;  // <- nondeterministic-source.
+}
+
+double TieBreak() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();  // <- and here.
+}
+
+}  // namespace dpack

@@ -1,0 +1,11 @@
+// Seeded violation: a container ordered by pointer keys in grant-ordering code. Pointer
+// order is allocation/ASLR dependent, so it injects per-process nondeterminism.
+#include <map>
+
+namespace dpack {
+
+struct Task;
+
+std::map<const Task*, double> score_by_task;  // <- pointer-keyed-order must fire here.
+
+}  // namespace dpack

@@ -1,0 +1,17 @@
+// Seeded violation: a raw std::mutex outside src/common/thread_annotations.h. Every lock
+// must go through the annotated wrappers so -Wthread-safety sees it.
+#include <mutex>
+
+namespace dpack {
+
+struct Queue {
+  std::mutex mu;  // <- raw-mutex must fire here.
+  int depth = 0;
+
+  void Push() {
+    std::lock_guard<std::mutex> lock(mu);  // <- and here.
+    ++depth;
+  }
+};
+
+}  // namespace dpack

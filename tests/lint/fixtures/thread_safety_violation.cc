@@ -1,0 +1,31 @@
+// Seeded thread-safety violation: a GUARDED_BY field written without its mutex, plus a
+// double-unlock. Under clang -Werror=thread-safety this file MUST FAIL to compile — the
+// negative compile test (thread_safety_compile_test.cmake) asserts exactly that, so the
+// annotation gate cannot silently rot into a no-op.
+#include "src/common/thread_annotations.h"
+
+namespace dpack {
+
+struct Account {
+  Mutex mu;
+  int balance GUARDED_BY(mu) = 0;
+
+  void DepositUnlocked(int amount) {
+    balance += amount;  // <- writing a guarded field without holding mu.
+  }
+
+  void DoubleUnlock() {
+    mu.Lock();
+    mu.Unlock();
+    mu.Unlock();  // <- releasing a capability that is no longer held.
+  }
+};
+
+}  // namespace dpack
+
+int main() {
+  dpack::Account account;
+  account.DepositUnlocked(1);
+  account.DoubleUnlock();
+  return 0;
+}

@@ -1,0 +1,21 @@
+// Seeded violation: iterating an unordered container on a grant-ordering path. The
+// iteration order is hash-seed dependent, so any grant sequence derived from it differs
+// across runs/processes — exactly the bug class the differential suites can only sample.
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace dpack {
+
+// dpack-lint: allow(unordered-member): lookup-only — fixture isolates the iteration rule.
+static std::unordered_map<uint64_t, double> scores_by_task;
+
+std::vector<uint64_t> GrantOrder() {
+  std::vector<uint64_t> order;
+  for (const auto& entry : scores_by_task) {  // <- unordered-iteration must fire here.
+    order.push_back(entry.first);
+  }
+  return order;
+}
+
+}  // namespace dpack

@@ -1,0 +1,12 @@
+// Seeded violation: an unordered container declared in grant-ordering code without the
+// reviewed lookup-only justification annotation.
+#include <cstdint>
+#include <unordered_set>
+
+namespace dpack {
+
+struct Tracker {
+  std::unordered_set<uint64_t> seen;  // <- unordered-member must fire here (no allow).
+};
+
+}  // namespace dpack

@@ -181,8 +181,8 @@ TEST_P(RecoveryEquivalenceTest, RandomizedKillSoak) {
 INSTANTIATE_TEST_SUITE_P(AllMetrics, RecoveryEquivalenceTest,
                          testing::Values(GreedyMetric::kDpack, GreedyMetric::kDpf,
                                          GreedyMetric::kArea, GreedyMetric::kFcfs),
-                         [](const testing::TestParamInfo<GreedyMetric>& info) {
-                           switch (info.param) {
+                         [](const testing::TestParamInfo<GreedyMetric>& param_info) {
+                           switch (param_info.param) {
                              case GreedyMetric::kDpack:
                                return "DPack";
                              case GreedyMetric::kDpf:
