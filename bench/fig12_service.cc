@@ -1,0 +1,182 @@
+// Multi-process grant service: transport counters across fleet shapes and crash-recovery
+// legs (ISSUE 8, beyond the paper). Each leg runs a registry scenario through the daemon +
+// worker fleet — some legs SIGKILL a worker mid-run — and self-checks that the grant trace
+// is byte-identical to the in-process engine before reporting anything: a counter dump over
+// a wrong schedule would gate CI on garbage.
+//
+// --json <path> emits the per-cycle message/byte/recovery counters in google-benchmark's
+// {"benchmarks": [...]} shape for scripts/check_bench_regression.py. Every gated field is
+// an exact function of the fixed workload and the protocol (messages and bytes per cycle,
+// score rounds, recoveries) — never timing. ring_stalls is reported for humans but not
+// gated: it counts producer back-off, which depends on OS scheduling.
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace dpack::bench {
+namespace {
+
+constexpr uint64_t kScenarioSeed = 21;
+
+struct ServiceLeg {
+  const char* scenario;
+  size_t workers;
+  size_t shards;
+  uint64_t kill_round;  // 0 = no kill.
+  size_t kill_worker;
+  ServiceRecovery recovery;
+};
+
+constexpr ServiceLeg kLegs[] = {
+    {"steady_poisson", 2, 2, 0, 0, ServiceRecovery::kReassign},
+    {"steady_poisson", 4, 4, 0, 0, ServiceRecovery::kReassign},
+    {"steady_poisson", 4, 4, 2, 1, ServiceRecovery::kReassign},
+    {"steady_poisson", 4, 4, 2, 1, ServiceRecovery::kRespawn},
+    {"bursty_hotspot", 2, 4, 0, 0, ServiceRecovery::kReassign},
+    {"bursty_hotspot", 2, 4, 3, 0, ServiceRecovery::kRespawn},
+};
+
+std::string LegName(const ServiceLeg& leg) {
+  std::string name = "fig12_service/" + std::string(leg.scenario) +
+                     "/workers:" + std::to_string(leg.workers) +
+                     "/shards:" + std::to_string(leg.shards);
+  if (leg.kill_round == 0) {
+    name += "/healthy";
+  } else {
+    name += "/kill:" + std::to_string(leg.kill_worker) + "@" +
+            std::to_string(leg.kill_round) +
+            (leg.recovery == ServiceRecovery::kRespawn ? "/respawn" : "/reassign");
+  }
+  return name;
+}
+
+struct LegResult {
+  ServiceCounters counters;
+  size_t cycles = 0;
+  double wall_ms = 0.0;
+  bool trace_ok = false;
+};
+
+LegResult RunLeg(const ServiceLeg& leg) {
+  AlphaGridPtr grid = AlphaGrid::Default();
+  CurvePool pool(grid, BlockCapacityCurve(grid, kEpsG, kDeltaG));
+  ScenarioWorkload workload =
+      GenerateScenario(pool, ScenarioByName(leg.scenario, kScenarioSeed));
+  workload.sim.record_grant_trace = true;
+
+  auto reference_scheduler = std::make_unique<GreedyScheduler>(
+      GreedyMetric::kDpack, GreedySchedulerOptions{.eta = 0.05, .incremental = true});
+  SimResult reference =
+      RunOnlineSimulation(std::move(reference_scheduler), workload.tasks, workload.sim);
+
+  ServiceConfig config;
+  config.num_workers = leg.workers;
+  config.num_shards = leg.shards;
+  config.recovery = leg.recovery;
+  config.kill_at_round = leg.kill_round;
+  config.kill_worker = leg.kill_worker;
+  auto start = std::chrono::steady_clock::now();
+  ServiceSimResult service =
+      RunServiceSimulation(GreedyMetric::kDpack, workload.tasks, workload.sim, config);
+  auto end = std::chrono::steady_clock::now();
+
+  LegResult result;
+  result.counters = service.counters;
+  result.cycles = service.sim.cycles_run;
+  result.wall_ms = std::chrono::duration<double, std::milli>(end - start).count();
+  result.trace_ok = service.sim.grant_trace == reference.grant_trace &&
+                    (leg.kill_round == 0 || service.counters.recoveries > 0);
+  if (!result.trace_ok) {
+    std::fprintf(stderr,
+                 "EQUIVALENCE VIOLATION: %s — service grants differ from the in-process "
+                 "engine (or a requested kill never recovered)\n",
+                 LegName(leg).c_str());
+  }
+  return result;
+}
+
+std::vector<std::pair<std::string, double>> GatedCounters(const LegResult& result) {
+  double cycles = static_cast<double>(result.cycles);
+  const ServiceCounters& c = result.counters;
+  return {
+      {"messages_sent_per_cycle", static_cast<double>(c.messages_sent) / cycles},
+      {"messages_received_per_cycle", static_cast<double>(c.messages_received) / cycles},
+      {"bytes_sent_per_cycle", static_cast<double>(c.bytes_sent) / cycles},
+      {"bytes_received_per_cycle", static_cast<double>(c.bytes_received) / cycles},
+      {"score_rounds_per_cycle", static_cast<double>(c.score_rounds) / cycles},
+      {"recoveries_per_cycle", static_cast<double>(c.recoveries) / cycles},
+      {"respawns_per_cycle", static_cast<double>(c.respawns) / cycles},
+      {"state_replays_per_cycle", static_cast<double>(c.state_replays) / cycles},
+  };
+}
+
+bool RunTable() {
+  CsvTable table({"leg", "cycles", "msgs_sent/cycle", "msgs_recv/cycle", "bytes_sent/cycle",
+                  "recoveries", "respawns", "ring_stalls", "wall_ms"});
+  bool ok = true;
+  for (const ServiceLeg& leg : kLegs) {
+    LegResult result = RunLeg(leg);
+    ok = result.trace_ok && ok;
+    double cycles = static_cast<double>(result.cycles);
+    table.NewRow()
+        .Add(LegName(leg))
+        .Add(result.cycles)
+        .Add(FormatDouble(static_cast<double>(result.counters.messages_sent) / cycles))
+        .Add(FormatDouble(static_cast<double>(result.counters.messages_received) / cycles))
+        .Add(FormatDouble(static_cast<double>(result.counters.bytes_sent) / cycles))
+        .Add(result.counters.recoveries)
+        .Add(result.counters.respawns)
+        .Add(result.counters.ring_stalls)
+        .Add(FormatDouble(result.wall_ms));
+  }
+  table.Print("Fig. 12: grant-service transport counters across fleet and crash legs");
+  std::printf("equivalence: %s — every leg %s the in-process grant trace\n",
+              ok ? "OK" : "VIOLATED", ok ? "matches" : "DIVERGES FROM");
+  return ok;
+}
+
+bool DumpCountersJson(const std::string& path) {
+  std::vector<BenchJsonEntry> entries;
+  bool ok = true;
+  for (const ServiceLeg& leg : kLegs) {
+    LegResult result = RunLeg(leg);
+    ok = result.trace_ok && ok;
+    BenchJsonEntry entry;
+    entry.name = LegName(leg);
+    entry.fields.push_back({"wall_ms", result.wall_ms});
+    entry.fields.push_back({"ring_stalls_total", static_cast<double>(result.counters.ring_stalls)});
+    for (const auto& field : GatedCounters(result)) {
+      entry.fields.push_back(field);
+    }
+    entries.push_back(std::move(entry));
+  }
+  return WriteBenchCountersJson(path, entries) && ok;
+}
+
+std::string ParseJsonPath(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json") {
+      return argv[i + 1];
+    }
+  }
+  return "";
+}
+
+}  // namespace
+}  // namespace dpack::bench
+
+int main(int argc, char** argv) {
+  using namespace dpack::bench;
+  Banner("Fig. 12: multi-process grant service, fleet + crash-recovery legs",
+         "ISSUE 8, beyond the paper");
+  std::string json_path = ParseJsonPath(argc, argv);
+  if (!json_path.empty()) {
+    return DumpCountersJson(json_path) ? 0 : 1;
+  }
+  return RunTable() ? 0 : 1;
+}

@@ -4,7 +4,7 @@
 The engine-matrix tests prove byte-identical grants for the interleavings and hash orders a
 run happens to explore; these rules reject the *sources* of nondeterminism at review time,
 on every line of the scheduling paths. Rules (scoped to the grant-ordering directories
-src/core and src/block unless noted):
+src/core, src/block, and src/service unless noted):
 
   raw-mutex                (all of src/, tests/, bench/, examples/) std::mutex,
                            std::condition_variable, std::lock_guard, std::unique_lock &
@@ -60,7 +60,11 @@ import tempfile
 
 # Directories whose code decides or orders grants: hash-order and clock nondeterminism
 # here changes the grant sequence, which the whole reproduction pins byte-for-byte.
-GRANT_ORDERING_DIRS = ("src/core", "src/block")
+# src/service is in scope because the daemon's merge and the workers' scoring replicas are
+# grant-ordering code too — a hash-order or wall-clock leak there breaks the multi-process
+# grant-equivalence proof the same way it would in-process (deadlines in the service are
+# iteration budgets, not clocks, precisely so this rule can hold there).
+GRANT_ORDERING_DIRS = ("src/core", "src/block", "src/service")
 # raw-mutex applies everywhere C++ lives; the annotations header is the one sanctioned home.
 ALL_CODE_DIRS = ("src", "tests", "bench", "examples")
 THREAD_ANNOTATIONS_HEADER = "src/common/thread_annotations.h"

@@ -18,7 +18,7 @@ trap 'rm -rf "${TMP_DIR}"' EXIT
 
 cmake --build "${BUILD_DIR}" \
   --target bench_micro_scheduler bench_fig5_scalability bench_fig10_scenarios \
-  bench_fig11_block_scale -j"$(nproc)"
+  bench_fig11_block_scale bench_fig12_service -j"$(nproc)"
 
 "./${BUILD_DIR}/bench_micro_scheduler" \
   --benchmark_filter=Steady \
@@ -36,8 +36,13 @@ cmake --build "${BUILD_DIR}" \
 "./${BUILD_DIR}/bench_fig11_block_scale" --json "${TMP_DIR}/fig11_counters.json" \
   > /dev/null
 
+# fig12 exits non-zero unless every fleet/crash leg's grant trace matches the in-process
+# engine — a baseline must never be regenerated over a diverging service.
+"./${BUILD_DIR}/bench_fig12_service" --json "${TMP_DIR}/fig12_counters.json" > /dev/null
+
 python3 - "${TMP_DIR}/micro_scheduler.json" "${TMP_DIR}/fig5_counters.json" \
-  "${TMP_DIR}/fig10_counters.json" "${TMP_DIR}/fig11_counters.json" "${OUT}" <<'EOF'
+  "${TMP_DIR}/fig10_counters.json" "${TMP_DIR}/fig11_counters.json" \
+  "${TMP_DIR}/fig12_counters.json" "${OUT}" <<'EOF'
 import json
 import sys
 

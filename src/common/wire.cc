@@ -1,0 +1,14 @@
+#include "src/common/wire.h"
+
+namespace dpack {
+
+uint64_t Fnv1a64(std::string_view data) {
+  uint64_t hash = 1469598103934665603ULL;
+  for (unsigned char c : data) {
+    hash ^= c;
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+}  // namespace dpack

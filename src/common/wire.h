@@ -1,0 +1,210 @@
+// Binary wire codec primitives shared by every durable/IPC encoding in dpack: the
+// checkpoint codec (src/orchestrator/checkpoint.cc) and the grant-service message framing
+// (src/service/messages.h) write the same fixed-width little-endian fields, doubles as raw
+// IEEE-754 bit patterns, and FNV-1a checksums — one encode discipline, so corruption
+// rejection and byte-exactness proofs carry across subsystems.
+//
+// BinaryReader is bounds-checked: it never reads past the payload, and a corrupted length
+// field can never trigger a huge allocation (CheckCount caps declared element counts by the
+// bytes actually remaining). On failure the reader latches a diagnostic naming the field.
+
+#ifndef SRC_COMMON_WIRE_H_
+#define SRC_COMMON_WIRE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dpack {
+
+// Raw IEEE-754 bit pattern of a double — the lossless way every codec moves floats.
+inline uint64_t BitsOfDouble(double value) {
+  uint64_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+inline double DoubleOfBits(uint64_t bits) {
+  double value;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+// FNV-1a over the payload bytes: the checksum both the checkpoint codec and the service
+// message framing append, so a flipped bit anywhere in a payload is always detected.
+uint64_t Fnv1a64(std::string_view data);
+
+// Appends fixed-width little-endian fields to an owned byte string.
+class BinaryWriter {
+ public:
+  void U8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void U32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      out_.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+    }
+  }
+  void U64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      out_.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+    }
+  }
+  void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
+  void F64(double v) { U64(BitsOfDouble(v)); }
+  void F64Vec(const std::vector<double>& v) {
+    U64(v.size());
+    for (double x : v) {
+      F64(x);
+    }
+  }
+  void I64Vec(const std::vector<int64_t>& v) {
+    U64(v.size());
+    for (int64_t x : v) {
+      I64(x);
+    }
+  }
+  // Appends raw bytes verbatim (length is NOT written; frame it yourself when needed).
+  void Bytes(std::string_view bytes) { out_.append(bytes); }
+
+  std::string& data() { return out_; }
+
+ private:
+  std::string out_;
+};
+
+// Bounds-checked reader over a byte view; never reads past the payload. Each accessor
+// returns false (and latches an error naming `what`) on truncation.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string_view data) : data_(data) {}
+
+  bool U8(uint8_t* out, const char* what) {
+    if (!Need(1, what)) {
+      return false;
+    }
+    *out = static_cast<uint8_t>(data_[pos_++]);
+    return true;
+  }
+  bool U32(uint32_t* out, const char* what) {
+    if (!Need(4, what)) {
+      return false;
+    }
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(static_cast<unsigned char>(data_[pos_ + i])) << (8 * i);
+    }
+    pos_ += 4;
+    *out = v;
+    return true;
+  }
+  bool U64(uint64_t* out, const char* what) {
+    if (!Need(8, what)) {
+      return false;
+    }
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(static_cast<unsigned char>(data_[pos_ + i])) << (8 * i);
+    }
+    pos_ += 8;
+    *out = v;
+    return true;
+  }
+  bool I64(int64_t* out, const char* what) {
+    uint64_t v;
+    if (!U64(&v, what)) {
+      return false;
+    }
+    *out = static_cast<int64_t>(v);
+    return true;
+  }
+  bool F64(double* out, const char* what) {
+    uint64_t bits;
+    if (!U64(&bits, what)) {
+      return false;
+    }
+    *out = DoubleOfBits(bits);
+    return true;
+  }
+  bool F64Vec(std::vector<double>* out, const char* what) {
+    uint64_t count;
+    if (!U64(&count, what) || !CheckCount(count, 8, what)) {
+      return false;
+    }
+    out->resize(static_cast<size_t>(count));
+    for (auto& x : *out) {
+      if (!F64(&x, what)) {
+        return false;
+      }
+    }
+    return true;
+  }
+  bool I64Vec(std::vector<int64_t>* out, const char* what) {
+    uint64_t count;
+    if (!U64(&count, what) || !CheckCount(count, 8, what)) {
+      return false;
+    }
+    out->resize(static_cast<size_t>(count));
+    for (auto& x : *out) {
+      if (!I64(&x, what)) {
+        return false;
+      }
+    }
+    return true;
+  }
+  // Reads an element count for records of at least `min_record_bytes`.
+  bool Count(uint64_t* out, size_t min_record_bytes, const char* what) {
+    return U64(out, what) && CheckCount(*out, min_record_bytes, what);
+  }
+  // Reads `bytes` raw bytes into a view over the underlying buffer.
+  bool BytesView(size_t bytes, std::string_view* out, const char* what) {
+    if (!Need(bytes, what)) {
+      return false;
+    }
+    *out = data_.substr(pos_, bytes);
+    pos_ += bytes;
+    return true;
+  }
+
+  size_t remaining() const { return data_.size() - pos_; }
+  const std::string& error() const { return error_; }
+  bool failed() const { return !error_.empty(); }
+  // Latches an external structural error (same channel as truncation diagnostics).
+  void FailWith(std::string message) {
+    if (error_.empty()) {
+      error_ = std::move(message);
+    }
+  }
+
+ private:
+  bool Need(size_t bytes, const char* what) {
+    if (failed()) {
+      return false;
+    }
+    if (data_.size() - pos_ < bytes) {
+      error_ = std::string("truncated input while reading ") + what;
+      return false;
+    }
+    return true;
+  }
+  // A declared element count must fit in the remaining bytes, so a corrupted length field
+  // can never trigger a huge allocation.
+  bool CheckCount(uint64_t count, size_t min_record_bytes, const char* what) {
+    if (failed()) {
+      return false;
+    }
+    if (count > remaining() / min_record_bytes) {
+      error_ = std::string("implausible element count for ") + what;
+      return false;
+    }
+    return true;
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace dpack
+
+#endif  // SRC_COMMON_WIRE_H_

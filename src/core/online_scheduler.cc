@@ -68,12 +68,18 @@ void OnlineScheduler::ResolveBlocks(Task& task) {
   task.blocks = blocks_->MostRecentBlocks(task.num_recent_blocks);
 }
 
-void OnlineScheduler::Submit(Task task) {
+bool OnlineScheduler::Submit(Task task) {
+  if (config_.admission_queue_capacity > 0 &&
+      pending_.size() >= config_.admission_queue_capacity) {
+    ++admission_rejected_;
+    return false;
+  }
   ResolveBlocks(task);
   bool fair = !task.blocks.empty() &&
               IsFairShareTask(task, *blocks_, config_.fair_share_n);
   metrics_.RecordSubmission(task.weight, fair);
   pending_.push_back(std::move(task));
+  return true;
 }
 
 size_t OnlineScheduler::RunCycle(double now) {

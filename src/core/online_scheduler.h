@@ -38,6 +38,12 @@ struct OnlineSchedulerConfig {
   // the async per-shard-thread engine at construction (GreedySchedulerOptions::async).
   // false leaves the scheduler as constructed.
   bool async = false;
+  // Admission control (the grant-service backpressure bound): when > 0, Submit rejects new
+  // tasks while the pending queue already holds this many. 0 = unbounded (the library
+  // default; the long-running service always sets a bound). Rejected tasks never enter the
+  // queue or the metrics — the caller is told to retry/shed, and admission_rejected()
+  // counts the rejections.
+  size_t admission_queue_capacity = 0;
 };
 
 class OnlineScheduler {
@@ -48,8 +54,9 @@ class OnlineScheduler {
 
   // Submits a task at task.arrival_time. If task.blocks is empty, requests the
   // task.num_recent_blocks most recent blocks (resolved now, or at the next cycle if no
-  // block has arrived yet).
-  void Submit(Task task);
+  // block has arrived yet). Returns false — and absorbs nothing — when the admission bound
+  // (config.admission_queue_capacity) is reached; unbounded configs always return true.
+  bool Submit(Task task);
 
   // Runs one scheduling cycle at virtual time `now`: unlocks budget, evicts timed-out tasks,
   // runs the inner scheduler over the pending batch, and records metrics.
@@ -63,6 +70,9 @@ class OnlineScheduler {
   // refilled every cycle; used to trace grant sequences for the recovery proofs.
   const std::vector<TaskId>& last_granted() const { return last_granted_; }
   const AllocationMetrics& metrics() const { return metrics_; }
+  // Tasks turned away by the admission bound (kept out of AllocationMetrics: the snapshot
+  // schema captures cluster state, and a rejected task never became cluster state).
+  uint64_t admission_rejected() const { return admission_rejected_; }
   Scheduler& inner() { return *inner_; }
   const OnlineSchedulerConfig& config() const { return config_; }
 
@@ -90,6 +100,7 @@ class OnlineScheduler {
   std::vector<Task> pending_;
   std::vector<TaskId> last_granted_;
   AllocationMetrics metrics_;
+  uint64_t admission_rejected_ = 0;
 };
 
 }  // namespace dpack

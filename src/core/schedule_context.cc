@@ -109,7 +109,7 @@ std::vector<size_t> RecomputeScheduleBatch(GreedyMetric metric, double eta,
   return AllocateInOrder(pending, blocks, OrderByScoreDesc(pending, scores));
 }
 
-// --- TaskCacheMap (shared by ScheduleContext and ShardedScheduleContext) --------------------------------------------------------------------------
+// --- TaskCacheMap (shared by ScheduleContext and ShardedScheduleContext) ------------------
 
 TaskCacheMap::TaskCacheMap() { slots_.resize(1024); }
 

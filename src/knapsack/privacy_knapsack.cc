@@ -142,7 +142,8 @@ class Search {
       const auto& task = instance_.tasks[order_[pos]];
       bool requests = std::find(task.blocks.begin(), task.blocks.end(), bound_block_) !=
                       task.blocks.end();
-      suffix_weight_not_req_[pos] = suffix_weight_not_req_[pos + 1] + (requests ? 0.0 : task.weight);
+      suffix_weight_not_req_[pos] =
+          suffix_weight_not_req_[pos + 1] + (requests ? 0.0 : task.weight);
     }
   }
 

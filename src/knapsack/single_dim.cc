@@ -210,7 +210,8 @@ KnapsackSolution FptasKnapsack(std::span<const KnapsackItem> items, double capac
     }
   }
   KnapsackSolution solution;
-  for (int32_t node = node_of[best_state]; node >= 0; node = pool[static_cast<size_t>(node)].parent) {
+  for (int32_t node = node_of[best_state]; node >= 0;
+       node = pool[static_cast<size_t>(node)].parent) {
     size_t item = pool[static_cast<size_t>(node)].item;
     solution.selected.push_back(item);
     solution.total_profit += items[item].profit;

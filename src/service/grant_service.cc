@@ -1,0 +1,34 @@
+#include "src/service/grant_service.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace dpack {
+
+GrantService::GrantService(GreedyMetric metric, BlockManager* blocks,
+                           GrantServiceConfig config) {
+  DPACK_CHECK(blocks != nullptr);
+  auto scheduler = std::make_unique<ServiceScheduler>(metric, config.service);
+  scheduler_ = scheduler.get();
+  OnlineSchedulerConfig online_config;
+  online_config.period = config.period;
+  online_config.unlock_steps = config.unlock_steps;
+  online_config.fair_share_n = config.fair_share_n;
+  online_config.admission_queue_capacity = config.admission_queue_capacity;
+  online_ = std::make_unique<OnlineScheduler>(std::move(scheduler), blocks, online_config);
+}
+
+bool GrantService::Submit(Task task) {
+  if (!online_->Submit(std::move(task))) {
+    ++scheduler_->counters().admission_rejects;
+    return false;
+  }
+  return true;
+}
+
+size_t GrantService::RunCycle(double now) { return online_->RunCycle(now); }
+
+ServiceCounters GrantService::counters() const { return scheduler_->counters(); }
+
+}  // namespace dpack

@@ -1,0 +1,61 @@
+// The grant-request API of the multi-process service: one facade owning the online driver
+// with a ServiceScheduler inner, fronted by admission control with a bounded queue.
+//
+// This is the long-running deployment shape (the paper's PrivateKube scheduler runs as a
+// control-plane service): clients Submit grant requests, the daemon runs a scheduling cycle
+// per period, and worker processes do the scoring — crash-isolated, so a worker SIGKILL
+// never takes the service (or a byte of grant-order determinism) with it. Backpressure is
+// explicit: when the pending queue is at capacity, Submit refuses (the caller sheds or
+// retries) instead of queueing unboundedly; rejections are counted, never silently dropped.
+
+#ifndef SRC_SERVICE_GRANT_SERVICE_H_
+#define SRC_SERVICE_GRANT_SERVICE_H_
+
+#include <memory>
+
+#include "src/block/block_manager.h"
+#include "src/core/online_scheduler.h"
+#include "src/service/service_scheduler.h"
+
+namespace dpack {
+
+struct GrantServiceConfig {
+  ServiceConfig service;
+  // Pending-queue bound for admission control; 0 = unbounded (tests and differential runs
+  // that must absorb every submission).
+  size_t admission_queue_capacity = 0;
+  double period = 1.0;
+  int64_t unlock_steps = 50;
+  int64_t fair_share_n = 0;
+};
+
+class GrantService {
+ public:
+  // `blocks` must outlive the service.
+  GrantService(GreedyMetric metric, BlockManager* blocks, GrantServiceConfig config);
+
+  // Admission-controlled submission: false when the queue is at capacity (counted in
+  // counters().admission_rejects; the task is absorbed nowhere).
+  bool Submit(Task task);
+
+  // One service scheduling cycle at virtual time `now`; returns the number of grants.
+  size_t RunCycle(double now);
+
+  size_t pending_count() const { return online_->pending_count(); }
+  const std::vector<TaskId>& last_granted() const { return online_->last_granted(); }
+  const AllocationMetrics& metrics() const { return online_->metrics(); }
+
+  // Transport + service counters, with admission_rejects mirrored in.
+  ServiceCounters counters() const;
+
+  // The distributed engine, for fleet introspection (pids, liveness) in tests.
+  ServiceScheduler& scheduler() { return *scheduler_; }
+
+ private:
+  ServiceScheduler* scheduler_;  // Owned by online_'s inner scheduler slot.
+  std::unique_ptr<OnlineScheduler> online_;
+};
+
+}  // namespace dpack
+
+#endif  // SRC_SERVICE_GRANT_SERVICE_H_

@@ -1,0 +1,133 @@
+// Versioned message schema of the grant service's daemon <-> worker protocol.
+//
+// Every message is one ring frame (src/common/shm_ring.h adds length + FNV-1a framing);
+// inside the frame, messages carry their own magic tag, format version, and type byte, and
+// are encoded with the checkpoint codec's discipline (src/common/wire.h: fixed-width
+// little-endian fields, doubles as raw IEEE-754 bit patterns). Raw double bits are what
+// make the protocol exact: a worker scoring against shipped curve bits computes the very
+// same IEEE-754 values the daemon would, so the merged grant order is byte-identical to the
+// single-process engines (see src/service/service_scheduler.h).
+//
+// Decoding rejects — with a diagnostic, never a crash or a silently-wrong score — bad
+// magic, unknown versions or types, truncation, implausible element counts, and trailing
+// bytes. The corruption property tests (tests/service/messages_test.cc) mirror
+// checkpoint_test.cc's truncate/bit-flip suites over every message type.
+//
+// Protocol (daemon drives; see src/README.md "Grant service" for the cycle walkthrough):
+//   daemon -> worker: Bind, BlockUpsert, BlockRefresh, TaskUpsert, State, ScoreRequest,
+//                     Shutdown
+//   worker -> daemon: Hello (once, after Bind is applied), ScoreReply
+
+#ifndef SRC_SERVICE_MESSAGES_H_
+#define SRC_SERVICE_MESSAGES_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "src/core/schedule_context.h"
+
+namespace dpack {
+
+inline constexpr uint32_t kServiceWireVersion = 1;
+
+// Daemon -> worker, once per worker lifetime (first message after fork/respawn): the
+// scheduling configuration every score must be computed under.
+struct BindMsg {
+  uint32_t worker_index = 0;
+  uint32_t num_workers = 0;
+  // Task-home shard count (fixed for the service lifetime; tasks home to id % num_shards).
+  // Decoupled from the worker count so shard reassignment after a crash moves whole shards.
+  uint32_t num_shards = 0;
+  GreedyMetric metric = GreedyMetric::kDpack;
+  double eta = 0.0;
+  std::vector<double> alpha_orders;  // The AlphaGrid the replica curves live on.
+};
+
+// Daemon -> worker: newly arrived blocks, in id order (ids are dense; the first entry's id
+// must equal the replica's current block count). Curves are per-order epsilons as raw bits.
+struct BlockUpsertMsg {
+  struct Entry {
+    int64_t id = 0;
+    std::vector<double> available;
+    std::vector<double> total;
+  };
+  std::vector<Entry> entries;
+};
+
+// Daemon -> worker: available-curve refreshes for blocks whose version advanced.
+struct BlockRefreshMsg {
+  struct Entry {
+    int64_t id = 0;
+    std::vector<double> available;
+  };
+  std::vector<Entry> entries;
+};
+
+// Daemon -> worker: pending-task payloads the worker does not yet hold (new arrivals, and
+// tasks whose block list was late-resolved — the one sanctioned post-submission mutation).
+struct TaskUpsertMsg {
+  struct Entry {
+    int64_t id = 0;
+    double weight = 1.0;
+    double arrival_time = 0.0;
+    std::vector<double> demand;
+    std::vector<int64_t> blocks;
+  };
+  std::vector<Entry> entries;
+};
+
+// Daemon -> worker (respawn cold start): the full cluster state as a checkpoint-codec
+// snapshot blob (EncodeSnapshotBinary). The worker decodes it with the same codec the
+// recovery subsystem uses, restores a byte-identical BlockManager, and rebuilds its curve
+// replica and task payloads from it — recovery and cold start share one state format.
+struct StateMsg {
+  std::string snapshot;
+};
+
+// Daemon -> worker: score one cycle. Carries the full batch in batch order (ids reference
+// payloads shipped via TaskUpsert/State) and the shard set this worker owns this round —
+// explicit, so the daemon can re-request a dead worker's shards from a survivor and get
+// bit-identical entries (scoring is a pure function of replica state + batch + shard set).
+struct ScoreRequestMsg {
+  uint64_t round = 0;
+  std::vector<int64_t> batch_ids;
+  std::vector<uint32_t> shards;
+};
+
+// Worker -> daemon: the scored entries of the requested shards, in batch order. Scores and
+// arrivals travel as raw bits; the daemon merges all replies under HeapEntryBefore.
+struct ScoreReplyMsg {
+  uint64_t round = 0;
+  struct Entry {
+    double score = 0.0;
+    double arrival_time = 0.0;
+    int64_t id = 0;
+  };
+  std::vector<Entry> entries;
+};
+
+// Worker -> daemon: bind acknowledged, replica ready.
+struct HelloMsg {
+  uint32_t worker_index = 0;
+};
+
+// Daemon -> worker: exit the serve loop (clean shutdown; workers killed by the crash tests
+// never see it).
+struct ShutdownMsg {};
+
+using ServiceMessage = std::variant<BindMsg, BlockUpsertMsg, BlockRefreshMsg, TaskUpsertMsg,
+                                    StateMsg, ScoreRequestMsg, ScoreReplyMsg, HelloMsg,
+                                    ShutdownMsg>;
+
+std::string EncodeMessage(const ServiceMessage& message);
+
+// Decodes one message. On failure returns false and sets *error to a diagnostic naming the
+// corruption (*out is unspecified). Trailing bytes after a well-formed message are an error.
+bool DecodeMessage(std::string_view bytes, ServiceMessage* out, std::string* error);
+
+}  // namespace dpack
+
+#endif  // SRC_SERVICE_MESSAGES_H_

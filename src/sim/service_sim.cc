@@ -1,0 +1,33 @@
+#include "src/sim/service_sim.h"
+
+#include <memory>
+#include <utility>
+
+namespace dpack {
+
+ServiceSimResult RunServiceSimulation(GreedyMetric metric, std::vector<Task> tasks,
+                                      const SimConfig& sim_config,
+                                      ServiceConfig service_config) {
+  ServiceSimResult result;
+  // The sim driver destroys the scheduler (fleet shutdown included) before returning, so
+  // the counters arrive through the sink, at final values.
+  service_config.counters_sink = &result.counters;
+  auto scheduler = std::make_unique<ServiceScheduler>(metric, service_config);
+  result.sim = RunOnlineSimulation(std::move(scheduler), std::move(tasks), sim_config);
+  result.counters.admission_rejects = result.sim.admission_rejected;
+  return result;
+}
+
+ServiceSimResult ResumeServiceSimulation(GreedyMetric metric, const ClusterSnapshot& snapshot,
+                                         std::vector<Task> tasks, const SimConfig& sim_config,
+                                         ServiceConfig service_config) {
+  ServiceSimResult result;
+  service_config.counters_sink = &result.counters;
+  auto scheduler = std::make_unique<ServiceScheduler>(metric, service_config);
+  result.sim =
+      ResumeOnlineSimulation(std::move(scheduler), snapshot, std::move(tasks), sim_config);
+  result.counters.admission_rejects = result.sim.admission_rejected;
+  return result;
+}
+
+}  // namespace dpack

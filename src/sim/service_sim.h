@@ -1,0 +1,41 @@
+// Service-mode simulation driver: runs the standard online simulation (sim_driver.h) with
+// the multi-process ServiceScheduler as the engine, returning both the usual SimResult and
+// the service's deterministic transport counters. One wrapper for uninterrupted runs and
+// one for checkpoint resume — a ServiceScheduler is an ordinary Scheduler, so the whole
+// checkpoint/recovery machinery composes with the process fleet unchanged.
+//
+// This is what the differential suites and the CI kill harness drive: the same workload
+// through the in-process engines and through the service (optionally with a worker SIGKILL
+// injected mid-run) must produce byte-identical grant traces.
+
+#ifndef SRC_SIM_SERVICE_SIM_H_
+#define SRC_SIM_SERVICE_SIM_H_
+
+#include <vector>
+
+#include "src/core/task.h"
+#include "src/service/service_scheduler.h"
+#include "src/sim/sim_driver.h"
+
+namespace dpack {
+
+struct ServiceSimResult {
+  SimResult sim;
+  // Final transport/service counters (admission_rejects mirrored from the online driver).
+  ServiceCounters counters;
+};
+
+// Runs one online simulation on a ServiceScheduler fleet. `service_config.counters_sink`
+// is managed internally (any caller-provided sink is ignored).
+ServiceSimResult RunServiceSimulation(GreedyMetric metric, std::vector<Task> tasks,
+                                      const SimConfig& sim_config,
+                                      ServiceConfig service_config);
+
+// Resumes a checkpointed run (same contract as ResumeOnlineSimulation) on a fresh fleet.
+ServiceSimResult ResumeServiceSimulation(GreedyMetric metric, const ClusterSnapshot& snapshot,
+                                         std::vector<Task> tasks, const SimConfig& sim_config,
+                                         ServiceConfig service_config);
+
+}  // namespace dpack
+
+#endif  // SRC_SIM_SERVICE_SIM_H_

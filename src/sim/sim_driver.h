@@ -66,6 +66,10 @@ struct SimConfig {
   // When set, SimResult::grant_trace records the granted task ids of every cycle this
   // process ran, in grant order — the byte-comparable signal the recovery proofs diff.
   bool record_grant_trace = false;
+  // Admission bound for the online driver (OnlineSchedulerConfig::admission_queue_capacity):
+  // when > 0, arrivals finding the pending queue at this size are rejected and counted in
+  // SimResult::admission_rejected instead of queued. 0 = unbounded (every prior workload).
+  size_t admission_queue_capacity = 0;
 };
 
 struct SimResult {
@@ -85,6 +89,8 @@ struct SimResult {
   // resumed run records only its own cycles; prefix + suffix must equal the uninterrupted
   // run's trace.
   std::vector<std::vector<TaskId>> grant_trace;
+  // Arrivals rejected by the admission bound (0 unless admission_queue_capacity > 0).
+  uint64_t admission_rejected = 0;
   // The captured cluster state when SimConfig::stop_after_cycles ended the run early.
   std::optional<ClusterSnapshot> snapshot;
 };

@@ -49,13 +49,41 @@ class FixtureViolations(unittest.TestCase):
         self.assertEqual(proc.returncode, 1)
         self.assertIn("[unordered-member]", proc.stdout)
 
-    def test_grant_ordering_rules_scoped_to_core_and_block(self):
-        # The same unordered iteration outside src/core|src/block is not in scope (the
-        # raw-mutex rule is the only tree-wide one).
+    def test_grant_ordering_rules_scoped_to_grant_dirs(self):
+        # The same unordered iteration outside src/core|src/block|src/service is not in
+        # scope (the raw-mutex rule is the only tree-wide one).
         proc = run_lint("--fixture",
                         os.path.join(FIXTURES, "unordered_iteration_violation.cc"),
                         "--as", "src/workload/order.cc")
         self.assertEqual(proc.returncode, 0, proc.stdout)
+
+    def test_grant_ordering_rules_cover_the_service(self):
+        # The multi-process service is grant-ordering code: the daemon merges scores and
+        # the workers replicate scoring, so hash-order and wall-clock leaks there are as
+        # fatal as in src/core. Every scoped rule must fire on src/service paths.
+        service_scope = {
+            "unordered_iteration_violation.cc": ("src/service/merge.cc",
+                                                 "unordered-iteration"),
+            "unordered_member_violation.cc": ("src/service/replica.h",
+                                              "unordered-member"),
+            "nondeterministic_source_violation.cc": ("src/service/deadline.cc",
+                                                     "nondeterministic-source"),
+            "pointer_keyed_order_violation.cc": ("src/service/routing.cc",
+                                                 "pointer-keyed-order"),
+            "float_equality_violation.cc": ("src/service/admission.cc",
+                                            "float-equality"),
+            "raw_mutex_violation.cc": ("src/service/transport_patch.cc", "raw-mutex"),
+        }
+        for fixture, (as_path, rule) in service_scope.items():
+            with self.subTest(fixture=fixture, as_path=as_path):
+                proc = run_lint("--fixture", os.path.join(FIXTURES, fixture),
+                                "--as", as_path)
+                self.assertEqual(proc.returncode, 1,
+                                 f"{fixture} at {as_path} should be rejected:\n"
+                                 f"{proc.stdout}")
+                self.assertIn(f"[{rule}]", proc.stdout,
+                              f"{fixture} at {as_path} should trip {rule}:\n"
+                              f"{proc.stdout}")
 
 
 class NearMisses(unittest.TestCase):

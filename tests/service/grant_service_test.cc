@@ -1,0 +1,182 @@
+// Multi-process service vs in-process engines: the service fleet (daemon + N scheduler
+// workers over the shm transport) must grant the exact same task ids in the exact same
+// order as the single-process engines, for every fleet shape, every metric, and both the
+// sync and async reference engines. Plus the grant-request API's admission control and the
+// determinism of the transport counters (two identical runs, identical counters — the
+// property the bench baseline gates on).
+
+#include "src/service/grant_service.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/scheduler.h"
+#include "src/sim/service_sim.h"
+#include "src/sim/sim_driver.h"
+#include "src/workload/curve_pool.h"
+#include "src/workload/scenario.h"
+
+namespace dpack {
+namespace {
+
+constexpr uint64_t kSeed = 77;
+
+AlphaGridPtr Grid() { return AlphaGrid::Default(); }
+
+const CurvePool& Pool() {
+  static const CurvePool pool(Grid(), BlockCapacityCurve(Grid(), 10.0, 1e-7));
+  return pool;
+}
+
+ScenarioWorkload Workload(const std::string& name) {
+  ScenarioWorkload workload = GenerateScenario(Pool(), ScenarioByName(name, kSeed));
+  workload.sim.record_grant_trace = true;
+  return workload;
+}
+
+SimResult ReferenceRun(GreedyMetric metric, const ScenarioWorkload& workload,
+                       size_t num_shards = 1, bool async = false) {
+  auto scheduler = std::make_unique<GreedyScheduler>(
+      metric, GreedySchedulerOptions{.eta = 0.05,
+                                     .incremental = true,
+                                     .num_shards = num_shards,
+                                     .async = async});
+  SimConfig config = workload.sim;
+  config.num_shards = num_shards;
+  config.async = async;
+  return RunOnlineSimulation(std::move(scheduler), workload.tasks, config);
+}
+
+ServiceSimResult ServiceRun(GreedyMetric metric, const ScenarioWorkload& workload,
+                            size_t num_workers, size_t num_shards) {
+  ServiceConfig config;
+  config.num_workers = num_workers;
+  config.num_shards = num_shards;
+  return RunServiceSimulation(metric, workload.tasks, workload.sim, config);
+}
+
+TEST(ServiceEquivalenceTest, FleetShapesMatchSyncAndAsyncEngines) {
+  for (const std::string& name : {std::string("steady_poisson"), std::string("bursty_hotspot")}) {
+    ScenarioWorkload workload = Workload(name);
+    SimResult sync_reference = ReferenceRun(GreedyMetric::kDpack, workload);
+    SimResult async_reference =
+        ReferenceRun(GreedyMetric::kDpack, workload, /*num_shards=*/2, /*async=*/true);
+    ASSERT_EQ(sync_reference.grant_trace, async_reference.grant_trace) << name;
+    struct Shape {
+      size_t workers;
+      size_t shards;
+    };
+    for (const Shape& shape : {Shape{2, 2}, Shape{2, 4}, Shape{4, 4}}) {
+      std::string label = name + " workers=" + std::to_string(shape.workers) +
+                          " shards=" + std::to_string(shape.shards);
+      ServiceSimResult service =
+          ServiceRun(GreedyMetric::kDpack, workload, shape.workers, shape.shards);
+      EXPECT_EQ(service.sim.grant_trace, sync_reference.grant_trace) << label;
+      EXPECT_EQ(service.sim.metrics.allocated(), sync_reference.metrics.allocated()) << label;
+      EXPECT_EQ(service.sim.pending_at_end, sync_reference.pending_at_end) << label;
+      EXPECT_EQ(service.counters.recoveries, 0u) << label;
+      EXPECT_GT(service.counters.messages_sent, 0u) << label;
+      EXPECT_GT(service.counters.score_rounds, 0u) << label;
+    }
+  }
+}
+
+TEST(ServiceEquivalenceTest, EveryMetricMatches) {
+  ScenarioWorkload workload = Workload("diurnal_zipf");
+  for (GreedyMetric metric : {GreedyMetric::kDpack, GreedyMetric::kDpf, GreedyMetric::kArea,
+                              GreedyMetric::kFcfs}) {
+    std::string label = "metric=" + std::to_string(static_cast<int>(metric));
+    SimResult reference = ReferenceRun(metric, workload);
+    ServiceSimResult service = ServiceRun(metric, workload, /*num_workers=*/2, /*num_shards=*/2);
+    EXPECT_EQ(service.sim.grant_trace, reference.grant_trace) << label;
+    EXPECT_EQ(service.sim.metrics.allocated(), reference.metrics.allocated()) << label;
+  }
+}
+
+// The counters are part of the deterministic surface (bench/baseline.json gates them):
+// identical inputs must produce identical counter values, run to run.
+TEST(ServiceEquivalenceTest, CountersAreDeterministic) {
+  ScenarioWorkload workload = Workload("cohort_skew");
+  ServiceSimResult first = ServiceRun(GreedyMetric::kDpack, workload, 4, 4);
+  ServiceSimResult second = ServiceRun(GreedyMetric::kDpack, workload, 4, 4);
+  EXPECT_EQ(first.counters.messages_sent, second.counters.messages_sent);
+  EXPECT_EQ(first.counters.messages_received, second.counters.messages_received);
+  EXPECT_EQ(first.counters.bytes_sent, second.counters.bytes_sent);
+  EXPECT_EQ(first.counters.bytes_received, second.counters.bytes_received);
+  EXPECT_EQ(first.counters.score_rounds, second.counters.score_rounds);
+  EXPECT_EQ(first.counters.recoveries, second.counters.recoveries);
+  EXPECT_EQ(first.counters.respawns, second.counters.respawns);
+  EXPECT_EQ(first.counters.state_replays, second.counters.state_replays);
+  EXPECT_EQ(first.counters.admission_rejects, second.counters.admission_rejects);
+  // ring_stalls is deliberately excluded: it counts producer back-off, which depends on
+  // scheduling timing, not on the protocol. Everything above is timing-independent.
+}
+
+// --- GrantService: the admission-controlled request API -----------------------------------
+
+Task ProbeTask(int64_t id, double fraction, std::vector<BlockId> blocks) {
+  Task task(id, /*weight=*/1.0, Pool().capacity().Scaled(fraction));
+  task.blocks = std::move(blocks);
+  task.arrival_time = 0.0;
+  return task;
+}
+
+TEST(GrantServiceTest, BoundedQueueRejectsAndCounts) {
+  BlockManager blocks(Grid(), 10.0, 1e-7);
+  for (int b = 0; b < 2; ++b) blocks.AddBlock(0.0, /*unlocked=*/true);
+  GrantServiceConfig config;
+  config.service.num_workers = 2;
+  config.admission_queue_capacity = 2;
+  GrantService service(GreedyMetric::kDpack, &blocks, config);
+  EXPECT_TRUE(service.Submit(ProbeTask(0, 0.2, {0})));
+  EXPECT_TRUE(service.Submit(ProbeTask(1, 0.2, {1})));
+  EXPECT_FALSE(service.Submit(ProbeTask(2, 0.2, {0})));
+  EXPECT_FALSE(service.Submit(ProbeTask(3, 0.2, {1})));
+  EXPECT_EQ(service.pending_count(), 2u);
+  EXPECT_EQ(service.counters().admission_rejects, 2u);
+  // Granting drains the queue; admission opens again.
+  EXPECT_EQ(service.RunCycle(0.0), 2u);
+  EXPECT_TRUE(service.Submit(ProbeTask(4, 0.2, {0})));
+  EXPECT_EQ(service.counters().admission_rejects, 2u);
+  EXPECT_EQ(service.metrics().submitted(), 3u);  // Rejected tasks are not submissions.
+}
+
+TEST(GrantServiceTest, CyclesMatchInProcessOnlineScheduler) {
+  auto build_blocks = []() {
+    BlockManager blocks(Grid(), 10.0, 1e-7);
+    for (int b = 0; b < 3; ++b) blocks.AddBlock(0.0, /*unlocked=*/true);
+    return blocks;
+  };
+  auto submissions = []() {
+    std::vector<Task> tasks;
+    tasks.push_back(ProbeTask(0, 0.45, {0, 1, 2}));
+    for (int i = 0; i < 3; ++i) {
+      tasks.push_back(ProbeTask(1 + i, 0.60, {static_cast<BlockId>(i)}));
+    }
+    return tasks;
+  };
+
+  BlockManager service_blocks = build_blocks();
+  GrantServiceConfig config;
+  config.service.num_workers = 2;
+  GrantService service(GreedyMetric::kDpack, &service_blocks, config);
+  for (Task& task : submissions()) ASSERT_TRUE(service.Submit(std::move(task)));
+  service.RunCycle(0.0);
+
+  BlockManager reference_blocks = build_blocks();
+  auto reference_inner = std::make_unique<GreedyScheduler>(
+      GreedyMetric::kDpack, GreedySchedulerOptions{.eta = 0.05, .incremental = true});
+  OnlineScheduler reference(std::move(reference_inner), &reference_blocks,
+                            OnlineSchedulerConfig{});
+  for (Task& task : submissions()) ASSERT_TRUE(reference.Submit(std::move(task)));
+  reference.RunCycle(0.0);
+
+  EXPECT_EQ(service.last_granted(), reference.last_granted());
+  EXPECT_FALSE(service.last_granted().empty());
+}
+
+}  // namespace
+}  // namespace dpack
