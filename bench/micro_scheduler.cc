@@ -65,8 +65,11 @@ constexpr int kSteadyIterations = 60;  // 3 full rotations of the dirty-block cu
 
 // Attaches the engine's per-cycle work counters (deltas across the timed loop) to the
 // benchmark so they land in the JSON artifact. No-op for the recompute path (no engine).
+// `include_ring` adds the async publication/pinning counters; only the async benchmarks
+// set it, so the sync legs' baselines stay free of fields their engines never touch.
 void ReportEngineCounters(benchmark::State& state, const GreedyScheduler& scheduler,
-                          const ScheduleContextStats& at_entry) {
+                          const ScheduleContextStats& at_entry,
+                          bool include_ring = false) {
   const ScheduleEngine* engine = scheduler.engine();
   if (engine == nullptr || state.iterations() == 0) {
     return;
@@ -85,6 +88,14 @@ void ReportEngineCounters(benchmark::State& state, const GreedyScheduler& schedu
   // Gated at zero: the merge's ping-pong buffers persist across cycles, so steady-state
   // cycles must not grow them (see ScheduleContextStats::merge_allocs).
   state.counters["merge_allocs"] = static_cast<double>(delta.merge_allocs);
+  if (include_ring) {
+    state.counters["ring_publishes_per_cycle"] =
+        static_cast<double>(delta.ring_publishes) / cycles;
+    // Both gated at zero: a driver that drains every cycle never fills a ring, and the
+    // pinned legs only ever pick cores PickShardCore reported as allowed.
+    state.counters["ring_retries"] = static_cast<double>(delta.ring_retries);
+    state.counters["pin_failures"] = static_cast<double>(delta.pin_failures);
+  }
 }
 
 void RunSteadyState(benchmark::State& state, GreedyMetric metric, bool incremental) {
@@ -174,7 +185,9 @@ BENCHMARK(BM_AreaSteadyRecompute)
 // each driver's coordination overhead (two barriers per cycle for sync, dispatch + one
 // fence + publication for async).
 
-void RunSteadyStateEngine(benchmark::State& state, GreedyMetric metric, bool async) {
+void RunSteadyStateEngine(benchmark::State& state, GreedyMetric metric, bool async,
+                          HeapPublishMode publish = HeapPublishMode::kRing,
+                          bool pin_threads = true) {
   std::vector<Task> tasks = SteadyStateTasks(static_cast<size_t>(state.range(0)));
   size_t num_shards = static_cast<size_t>(state.range(1));
   BlockManager blocks(AlphaGrid::Default(), kEpsG, kDeltaG);
@@ -184,7 +197,9 @@ void RunSteadyStateEngine(benchmark::State& state, GreedyMetric metric, bool asy
   RdpCurve tiny = SteadyStateTinyDemand();
   GreedyScheduler scheduler(metric, GreedySchedulerOptions{.incremental = true,
                                                            .num_shards = num_shards,
-                                                           .async = async});
+                                                           .async = async,
+                                                           .publish = publish,
+                                                           .pin_threads = pin_threads});
   scheduler.ScheduleBatch(tasks, blocks);  // Warm the cache: steady state, not first cycle.
   size_t dirty_cursor = 0;
   // Second warm-up with a dirty block fills the merge's second ping-pong buffer (see
@@ -198,7 +213,7 @@ void RunSteadyStateEngine(benchmark::State& state, GreedyMetric metric, bool asy
     state.ResumeTiming();
     benchmark::DoNotOptimize(scheduler.ScheduleBatch(tasks, blocks));
   }
-  ReportEngineCounters(state, scheduler, at_entry);
+  ReportEngineCounters(state, scheduler, at_entry, /*include_ring=*/async);
 }
 
 void BM_DpackSteadySharded(benchmark::State& state) {
@@ -257,6 +272,28 @@ void BM_AreaSteadyAsync(benchmark::State& state) {
 BENCHMARK(BM_AreaSteadyAsync)
     ->Args({1000, 1})
     ->Args({1000, 2})
+    ->Args({1000, 4})
+    ->Iterations(kSteadyIterations)
+    ->Unit(benchmark::kMillisecond);
+
+// Publication/pinning ablations against BM_DpackSteadyAsync/1000/4 (the ring + pinned
+// default): the mutex/condvar handoff the ring replaced, and the counted-fallback unpinned
+// run. Identical work counters by construction — only the publication mechanism and thread
+// placement differ, which is exactly what the wall-time comparison isolates.
+void BM_DpackSteadyAsyncMutex(benchmark::State& state) {
+  RunSteadyStateEngine(state, GreedyMetric::kDpack, /*async=*/true,
+                       HeapPublishMode::kMutex);
+}
+BENCHMARK(BM_DpackSteadyAsyncMutex)
+    ->Args({1000, 4})
+    ->Iterations(kSteadyIterations)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DpackSteadyAsyncUnpinned(benchmark::State& state) {
+  RunSteadyStateEngine(state, GreedyMetric::kDpack, /*async=*/true,
+                       HeapPublishMode::kRing, /*pin_threads=*/false);
+}
+BENCHMARK(BM_DpackSteadyAsyncUnpinned)
     ->Args({1000, 4})
     ->Iterations(kSteadyIterations)
     ->Unit(benchmark::kMillisecond);

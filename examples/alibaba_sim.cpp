@@ -7,13 +7,20 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "src/common/cli.h"
 #include "src/dpack/dpack.h"
 
 using namespace dpack;  // Example code; the library itself never does this.
 
+namespace {
+constexpr char kUsage[] = "alibaba_sim [num_tasks] [num_blocks]";
+}  // namespace
+
 int main(int argc, char** argv) {
-  size_t num_tasks = argc > 1 ? static_cast<size_t>(std::atoi(argv[1])) : 10000;
-  size_t num_blocks = argc > 2 ? static_cast<size_t>(std::atoi(argv[2])) : 60;
+  size_t num_tasks =
+      argc > 1 ? ParseSizeArg(argv[0], argv[1], "num_tasks", kUsage) : 10000;
+  size_t num_blocks =
+      argc > 2 ? ParseSizeArg(argv[0], argv[2], "num_blocks", kUsage) : 60;
 
   AlphaGridPtr grid = AlphaGrid::Default();
   RdpCurve capacity = BlockCapacityCurve(grid, 10.0, 1e-7);

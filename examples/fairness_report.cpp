@@ -8,12 +8,15 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "src/common/cli.h"
 #include "src/dpack/dpack.h"
 
 using namespace dpack;  // Example code; the library itself never does this.
 
 int main(int argc, char** argv) {
-  size_t num_tasks = argc > 1 ? static_cast<size_t>(std::atoi(argv[1])) : 8000;
+  size_t num_tasks =
+      argc > 1 ? ParseSizeArg(argv[0], argv[1], "num_tasks", "fairness_report [num_tasks]")
+               : 8000;
   const size_t num_blocks = 60;
   const int64_t fair_share_n = 50;
 

@@ -22,11 +22,17 @@
 #include <memory>
 #include <string>
 
+#include "src/common/cli.h"
 #include "src/dpack/dpack.h"
 
 namespace {
 
 using namespace dpack;  // Example code; the library itself never does this.
+
+constexpr char kUsage[] =
+    "example_grant_service <scenario> [--seed N] [--metric dpack|dpf|area|fcfs]\n"
+    "                      [--workers N] [--shards N] [--kill-round R] [--kill-worker W]\n"
+    "                      [--recovery reassign|respawn] [--differential]";
 
 int ListScenarios() {
   std::printf("registered scenarios (see src/README.md for the stress-axis catalogue):\n");
@@ -128,17 +134,17 @@ int main(int argc, char** argv) {
     }
     std::string value = argv[++i];
     if (flag == "--seed") {
-      seed = static_cast<uint64_t>(std::strtoull(value.c_str(), nullptr, 10));
+      seed = ParseUint64Arg(argv[0], value, "--seed", kUsage);
     } else if (flag == "--metric") {
       metric = ParseMetric(value);
     } else if (flag == "--workers") {
-      service_config.num_workers = static_cast<size_t>(std::strtoull(value.c_str(), nullptr, 10));
+      service_config.num_workers = ParseSizeArg(argv[0], value, "--workers", kUsage);
     } else if (flag == "--shards") {
-      service_config.num_shards = static_cast<size_t>(std::strtoull(value.c_str(), nullptr, 10));
+      service_config.num_shards = ParseSizeArg(argv[0], value, "--shards", kUsage);
     } else if (flag == "--kill-round") {
-      kill_round = static_cast<uint64_t>(std::strtoull(value.c_str(), nullptr, 10));
+      kill_round = ParseUint64Arg(argv[0], value, "--kill-round", kUsage);
     } else if (flag == "--kill-worker") {
-      kill_worker = static_cast<size_t>(std::strtoull(value.c_str(), nullptr, 10));
+      kill_worker = ParseSizeArg(argv[0], value, "--kill-worker", kUsage);
     } else if (flag == "--recovery") {
       if (value == "reassign") {
         service_config.recovery = ServiceRecovery::kReassign;

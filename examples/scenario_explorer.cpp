@@ -15,11 +15,17 @@
 #include <memory>
 #include <string>
 
+#include "src/common/cli.h"
 #include "src/dpack/dpack.h"
 
 namespace {
 
 using namespace dpack;
+
+constexpr char kUsage[] =
+    "example_scenario_explorer <scenario> [--seed N] [--metric dpack|dpf|area|fcfs]\n"
+    "                          [--engine recompute|incremental|async] [--shards N]\n"
+    "                          [--export path.csv]";
 
 int ListScenarios() {
   std::printf("registered scenarios (see src/README.md for the stress-axis catalogue):\n");
@@ -58,7 +64,7 @@ int main(int argc, char** argv) {
     }
     std::string value = argv[i + 1];
     if (flag == "--seed") {
-      seed = static_cast<uint64_t>(std::strtoull(value.c_str(), nullptr, 10));
+      seed = ParseUint64Arg(argv[0], value, "--seed", kUsage);
     } else if (flag == "--metric") {
       metric = ParseMetric(value);
     } else if (flag == "--engine") {
@@ -69,7 +75,7 @@ int main(int argc, char** argv) {
       }
       engine = value;
     } else if (flag == "--shards") {
-      num_shards = static_cast<size_t>(std::strtoull(value.c_str(), nullptr, 10));
+      num_shards = ParseSizeArg(argv[0], value, "--shards", kUsage);
     } else if (flag == "--export") {
       export_path = value;
     } else {

@@ -1,0 +1,62 @@
+#include "src/common/cli.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dpack {
+
+std::optional<uint64_t> TryParseUint64(std::string_view text) {
+  if (text.empty()) {
+    return std::nullopt;
+  }
+  uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') {
+      return std::nullopt;
+    }
+    uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) {
+      return std::nullopt;  // Overflow.
+    }
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+std::optional<size_t> TryParseSize(std::string_view text) {
+  std::optional<uint64_t> value = TryParseUint64(text);
+  if (!value.has_value() || *value > SIZE_MAX) {
+    return std::nullopt;
+  }
+  return static_cast<size_t>(*value);
+}
+
+namespace {
+[[noreturn]] void DieBadArg(const char* prog, std::string_view text, std::string_view what,
+                            std::string_view usage) {
+  std::fprintf(stderr, "%s: invalid %.*s '%.*s'\nusage: %.*s\n", prog,
+               static_cast<int>(what.size()), what.data(), static_cast<int>(text.size()),
+               text.data(), static_cast<int>(usage.size()), usage.data());
+  std::exit(2);
+}
+}  // namespace
+
+size_t ParseSizeArg(const char* prog, std::string_view text, std::string_view what,
+                    std::string_view usage) {
+  std::optional<size_t> value = TryParseSize(text);
+  if (!value.has_value()) {
+    DieBadArg(prog, text, what, usage);
+  }
+  return *value;
+}
+
+uint64_t ParseUint64Arg(const char* prog, std::string_view text, std::string_view what,
+                        std::string_view usage) {
+  std::optional<uint64_t> value = TryParseUint64(text);
+  if (!value.has_value()) {
+    DieBadArg(prog, text, what, usage);
+  }
+  return *value;
+}
+
+}  // namespace dpack

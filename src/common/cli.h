@@ -1,0 +1,35 @@
+// Checked command-line number parsing for the examples and harness mains. `std::atoi`
+// silently turns garbage into 0 and negatives into huge counts once cast to size_t; every
+// argv site goes through these helpers instead, so bad input becomes a usage message and a
+// nonzero exit, never a silently-wrong simulation size.
+
+#ifndef SRC_COMMON_CLI_H_
+#define SRC_COMMON_CLI_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace dpack {
+
+// Parses a non-negative decimal integer. Rejects (nullopt): empty input, any non-digit
+// character (signs, whitespace, trailing junk, hex), and values that overflow uint64_t.
+std::optional<uint64_t> TryParseUint64(std::string_view text);
+
+// TryParseUint64 narrowed to size_t (rejects values above SIZE_MAX on 32-bit targets).
+std::optional<size_t> TryParseSize(std::string_view text);
+
+// Parses argument `text` as a size_t or terminates: on bad input prints
+// "<prog>: invalid <what> '<text>'" plus `usage` to stderr and exits 2. `what` names the
+// argument ("num-tasks"); `usage` is the program's one-line usage string.
+size_t ParseSizeArg(const char* prog, std::string_view text, std::string_view what,
+                    std::string_view usage);
+
+// ParseSizeArg for uint64_t arguments (seeds).
+uint64_t ParseUint64Arg(const char* prog, std::string_view text, std::string_view what,
+                        std::string_view usage);
+
+}  // namespace dpack
+
+#endif  // SRC_COMMON_CLI_H_

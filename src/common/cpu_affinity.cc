@@ -1,0 +1,66 @@
+#include "src/common/cpu_affinity.h"
+
+#include <atomic>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace dpack {
+
+namespace {
+std::atomic<bool> g_pin_fail_for_testing{false};
+}  // namespace
+
+void SetPinFailForTesting(bool fail) {
+  g_pin_fail_for_testing.store(fail, std::memory_order_relaxed);
+}
+
+#if defined(__linux__)
+
+std::vector<int> AllowedCores() {
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (sched_getaffinity(0, sizeof(set), &set) != 0) {
+    return {};
+  }
+  std::vector<int> cores;
+  for (int c = 0; c < CPU_SETSIZE; ++c) {
+    if (CPU_ISSET(c, &set)) {
+      cores.push_back(c);
+    }
+  }
+  return cores;
+}
+
+bool PinCurrentThreadToCore(int core) {
+  if (core < 0 || g_pin_fail_for_testing.load(std::memory_order_relaxed)) {
+    return false;
+  }
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(core, &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+}
+
+#else  // !defined(__linux__)
+
+std::vector<int> AllowedCores() { return {}; }
+
+bool PinCurrentThreadToCore(int core) {
+  (void)core;
+  return false;
+}
+
+#endif
+
+int PickShardCore(size_t shard_index) {
+  std::vector<int> allowed = AllowedCores();
+  if (allowed.empty()) {
+    return -1;
+  }
+  return allowed[shard_index % allowed.size()];
+}
+
+}  // namespace dpack

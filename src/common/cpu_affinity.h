@@ -1,0 +1,43 @@
+// Thread-to-core pinning for the per-shard scheduler threads (AsyncScheduleEngine): the
+// single place in the tree allowed to touch the raw affinity syscalls
+// (scripts/dpack_lint.py bans pthread_setaffinity_np / sched_setaffinity everywhere else,
+// the same single-definition discipline as the thread_annotations.h mutex wrapper).
+//
+// Pinning is always best-effort. Target cores are chosen from the *allowed* cpuset (what
+// sched_getaffinity reports), so a container restricted to a subset of the machine — or to
+// a single core, as in CI — still pins successfully to cores it may use. When the cpuset
+// cannot be read, the platform lacks the syscalls, or setaffinity is denied outright, every
+// call degrades to a counted no-op: the engine runs exactly as before, unpinned, and
+// reports the denial through its `pin_failures` counter instead of failing
+// (tests/common/cpu_affinity_test.cc pins the fallback via the test-only denial hook).
+
+#ifndef SRC_COMMON_CPU_AFFINITY_H_
+#define SRC_COMMON_CPU_AFFINITY_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace dpack {
+
+// Core ids the calling thread is allowed to run on (the cpuset), ascending. Empty when the
+// allowed set cannot be determined — callers must treat that as "pinning unavailable".
+std::vector<int> AllowedCores();
+
+// The deterministic core choice for shard `shard_index`: allowed core s % |allowed|, so
+// shards spread round-robin over whatever the cpuset grants (all shards share the one core
+// of a single-core container). Returns -1 when no allowed core is known.
+int PickShardCore(size_t shard_index);
+
+// Pins the calling thread to `core`. Returns false — leaving the thread's affinity
+// untouched — on a negative core, an unavailable platform, a denied syscall, or when the
+// test-only denial below is armed.
+bool PinCurrentThreadToCore(int core);
+
+// Test-only: force every subsequent PinCurrentThreadToCore to fail (true) or restore real
+// behavior (false). Lets tests prove the engine's unpinned fallback without a cpuset that
+// actually denies the syscall.
+void SetPinFailForTesting(bool fail);
+
+}  // namespace dpack
+
+#endif  // SRC_COMMON_CPU_AFFINITY_H_

@@ -1,13 +1,23 @@
 #include "src/core/async_schedule_engine.h"
 
 #include "src/common/check.h"
+#include "src/common/cpu_affinity.h"
 
 namespace dpack {
 
-AsyncScheduleEngine::AsyncScheduleEngine(GreedyMetric metric, double eta, size_t num_shards)
-    : ShardedScheduleContext(metric, eta, num_shards, /*pool_workers=*/0),
+AsyncScheduleEngine::AsyncScheduleEngine(GreedyMetric metric, double eta, size_t num_shards,
+                                         BlockPartition partition, HeapPublishMode publish,
+                                         bool pin_threads)
+    : ShardedScheduleContext(metric, eta, num_shards, /*pool_workers=*/0, partition),
+      publish_(publish),
+      pin_threads_(pin_threads),
       stamps_(num_shards),
+      ring_stamps_(num_shards),
       late_(num_shards) {
+  rings_.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    rings_.push_back(std::make_unique<SpscRing<ClockStamp>>());
+  }
   threads_.reserve(num_shards);
   for (size_t s = 0; s < num_shards; ++s) {
     threads_.emplace_back([this, s] { ShardLoop(s); });
@@ -36,6 +46,18 @@ bool AsyncScheduleEngine::AllBlocksHome(const Task& task, size_t s) const {
 }
 
 void AsyncScheduleEngine::ShardLoop(size_t s) {
+  // Pin before any scheduling work (best-effort; see cpu_affinity.h). Running pinned means
+  // every buffer this thread grows from here on — its shard's heap, merge scratch, cache —
+  // is first-touched from its core, so default first-touch placement keeps the shard's
+  // working set local. A denial is counted, never fatal: the loop below is identical
+  // pinned or not.
+  if (pin_threads_) {
+    int core = PickShardCore(s);
+    if (core < 0 || !PinCurrentThreadToCore(core)) {
+      pin_failures_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
   uint64_t seen = 0;
   MutexLock lock(mu_);
   while (true) {
@@ -136,17 +158,32 @@ void AsyncScheduleEngine::ShardLoop(size_t s) {
     stamp.valid = stamp.epoch == partition_->shard_epoch(s) &&
                   stamp.version == partition_->shard_version(s);
 
-    // Publish: heap + stamp become visible to the driver through the mutex handoff.
-    lock.Lock();
-    stamps_[s] = stamp;
-    if (++published_ == num_shards_) {
-      done_cv_.NotifyOne();
+    if (publish_ == HeapPublishMode::kRing) {
+      // Publish, ring mode: one epoch-stamped push onto this shard's private SPSC ring.
+      // The push's release store makes the heap, the counters (incremented before the
+      // push), and the stamp visible to the driver's acquire pop — no lock from the fence
+      // to the next dispatch wait. The ring can only be full if a driver stopped draining
+      // (a protocol violation); the retry spin is counted so the bench gate would catch it.
+      ++shard.partial.ring_publishes;
+      while (!rings_[s]->TryPush(seen, stamp)) {
+        ++shard.partial.ring_retries;
+        std::this_thread::yield();
+      }
+      lock.Lock();
+    } else {
+      // Publish, mutex mode: heap + stamp become visible through the mutex handoff.
+      lock.Lock();
+      stamps_[s] = stamp;
+      if (++published_ == num_shards_) {
+        done_cv_.NotifyOne();
+      }
     }
   }
 }
 
 bool AsyncScheduleEngine::RunPhases(std::span<const Task> pending, const BlockManager& blocks,
                                     size_t refresh_limit, uint64_t previous_cycle) {
+  uint64_t seq = 0;
   {
     MutexLock lock(mu_);
     cycle_pending_ = pending;
@@ -155,23 +192,68 @@ bool AsyncScheduleEngine::RunPhases(std::span<const Task> pending, const BlockMa
     cycle_previous_ = previous_cycle;
     refresh_done_ = 0;
     published_ = 0;
-    ++dispatch_seq_;
+    seq = ++dispatch_seq_;
   }
   dispatch_cv_.NotifyAll();
 
-  // Quiesce: wait for every shard's publication, then validate every stamp.
-  MutexLock lock(mu_);
-  while (published_ != num_shards_) {
-    done_cv_.Wait(mu_);
-  }
-  cycle_pending_ = {};
-  cycle_blocks_ = nullptr;
+  // Quiesce: consume every shard's publication for this cycle, then validate every stamp.
   uint64_t stale = 0;
-  for (const ClockStamp& stamp : stamps_) {
-    if (!stamp.valid) {
-      ++stale;
+  if (publish_ == HeapPublishMode::kRing) {
+    // Pop each ring until this cycle's frame (epoch == seq) arrives. A frame from any
+    // other epoch is a stale publication — impossible under the cycle protocol, handled
+    // exactly like a stale stamp: counted, discarded, cycle abandoned below.
+    ring_done_.assign(num_shards_, 0);
+    size_t remaining = num_shards_;
+    while (remaining > 0) {
+      bool progressed = false;
+      for (size_t s = 0; s < num_shards_; ++s) {
+        if (ring_done_[s] != 0) {
+          continue;
+        }
+        uint64_t epoch = 0;
+        ClockStamp stamp;
+        while (rings_[s]->TryPop(&epoch, &stamp)) {
+          progressed = true;
+          if (epoch == seq) {
+            ring_stamps_[s] = stamp;
+            ring_done_[s] = 1;
+            --remaining;
+            break;
+          }
+          ++stale;
+        }
+      }
+      if (!progressed) {
+        std::this_thread::yield();
+      }
+    }
+    MutexLock lock(mu_);
+    cycle_pending_ = {};
+    cycle_blocks_ = nullptr;
+    for (const ClockStamp& stamp : ring_stamps_) {
+      if (!stamp.valid) {
+        ++stale;
+      }
+    }
+  } else {
+    MutexLock lock(mu_);
+    while (published_ != num_shards_) {
+      done_cv_.Wait(mu_);
+    }
+    cycle_pending_ = {};
+    cycle_blocks_ = nullptr;
+    for (const ClockStamp& stamp : stamps_) {
+      if (!stamp.valid) {
+        ++stale;
+      }
     }
   }
+
+  // Every shard published this cycle, and each thread's pin attempt preceded its first
+  // publication — so this read is complete once any cycle finishes. Re-read every cycle
+  // (idempotent) so the fallback path's stats restore can never lose it for good.
+  stats_.pin_failures = pin_failures_.load(std::memory_order_relaxed);
+
   if (stale > 0) {
     // A Sync ran while snapshots were being built — the cycle protocol was violated.
     // Abandon the cycle (ScheduleBatch falls back to the recompute reference) and account

@@ -30,9 +30,12 @@ struct OnlineSchedulerConfig {
   int64_t unlock_steps = 50;
   // Fair-share denominator for metrics; defaults to unlock_steps as in §6.3.
   int64_t fair_share_n = 0;
-  // When > 0 and the inner scheduler is a GreedyScheduler, reshard its incremental engine to
-  // this count at construction (see GreedySchedulerOptions::num_shards). 0 leaves the
-  // scheduler as constructed.
+  // Shard count for the inner GreedyScheduler's incremental engine. 0 = auto: resolved at
+  // construction by ResolveNumShards (scheduler.h) — hardware concurrency capped by the
+  // blocks known at construction, so a driver built before any block arrives (every fresh
+  // simulation) resolves to 1. The constructor is the single resolution point: it rewrites
+  // this field with the resolved count (config().num_shards is always >= 1 afterwards) and
+  // reshards the scheduler to it, so no downstream reader interprets 0 ad hoc.
   size_t num_shards = 0;
   // When set and the inner scheduler is a GreedyScheduler, switch its incremental engine to
   // the async per-shard-thread engine at construction (GreedySchedulerOptions::async).

@@ -68,6 +68,14 @@ enum class GreedyMetric {
   kFcfs,   // Arrival order.
 };
 
+// How AsyncScheduleEngine moves a shard thread's finished heap snapshot to the driver.
+// Both modes produce byte-identical grants — publication only changes *how* heaps become
+// visible, never the merge order (see src/core/async_schedule_engine.h).
+enum class HeapPublishMode {
+  kRing,   // Lock-free per-shard SPSC ring (src/common/spsc_ring.h); the default.
+  kMutex,  // The pre-ring mutex/condvar handoff, kept for comparison benches and tests.
+};
+
 // Grants tasks in `order` whose demands all requested blocks accept, committing as it goes —
 // the CANRUN loop of Alg. 1. Infeasible tasks are skipped, never block the later ones: every
 // policy, including FCFS, backfills past tasks whose filters reject (which is why FCFS does
@@ -116,6 +124,21 @@ struct ScheduleContextStats {
   uint64_t async_stale_publishes = 0;
   uint64_t async_wasted_rescores = 0;
 
+  // Lock-free publication and pinning counters (AsyncScheduleEngine; zero elsewhere):
+  //   - ring_publishes: heap snapshots delivered through the per-shard SPSC rings
+  //     (HeapPublishMode::kRing). Exactly num_shards per cycle in ring mode, 0 in mutex
+  //     mode — deterministic, so bench/baseline.json gates it.
+  //   - ring_retries: producer-side full-ring retries. Zero by construction (the driver
+  //     drains every ring each cycle and a shard publishes once per dispatch); gated at
+  //     zero so a protocol regression that makes producers spin is caught.
+  //   - pin_failures: shard threads that could not be pinned to their chosen core. A gauge,
+  //     not a flow counter — set once per engine at thread startup (idempotently re-read
+  //     each cycle), 0 on hosts whose cpuset permits pinning, and excluded from Accumulate/
+  //     Delta so the fallback path cannot double- or zero-count it.
+  uint64_t ring_publishes = 0;
+  uint64_t ring_retries = 0;
+  uint64_t pin_failures = 0;
+
   // Per-shard counters are summed into the run-wide totals above.
   void Accumulate(const ScheduleContextStats& other) {
     tasks_rescored += other.tasks_rescored;
@@ -124,6 +147,8 @@ struct ScheduleContextStats {
     best_alpha_recomputes += other.best_alpha_recomputes;
     merge_allocs += other.merge_allocs;
     async_early_scores += other.async_early_scores;
+    ring_publishes += other.ring_publishes;
+    ring_retries += other.ring_retries;
   }
 
   // Counters are monotonic over an engine's lifetime; subtracting an earlier snapshot
@@ -143,6 +168,9 @@ struct ScheduleContextStats {
     delta.async_early_scores -= before.async_early_scores;
     delta.async_stale_publishes -= before.async_stale_publishes;
     delta.async_wasted_rescores -= before.async_wasted_rescores;
+    delta.ring_publishes -= before.ring_publishes;
+    delta.ring_retries -= before.ring_retries;
+    // pin_failures is a gauge (like shards): carried, not subtracted.
     return delta;
   }
 };

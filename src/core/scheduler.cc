@@ -1,6 +1,7 @@
 #include "src/core/scheduler.h"
 
 #include <algorithm>
+#include <thread>
 
 #include "src/common/check.h"
 #include "src/core/async_schedule_engine.h"
@@ -26,10 +27,12 @@ void GreedyScheduler::RebuildEngine() {
     engine_ = std::make_unique<ScheduleContext>(metric_, options_.eta);
   } else if (options_.async) {
     engine_ = std::make_unique<AsyncScheduleEngine>(metric_, options_.eta,
-                                                    options_.num_shards);
+                                                    options_.num_shards, options_.partition,
+                                                    options_.publish, options_.pin_threads);
   } else if (options_.num_shards > 1) {
     engine_ = std::make_unique<ShardedScheduleContext>(metric_, options_.eta,
-                                                       options_.num_shards);
+                                                       options_.num_shards,
+                                                       options_.partition);
   } else {
     engine_ = std::make_unique<ScheduleContext>(metric_, options_.eta);
   }
@@ -175,6 +178,19 @@ std::unique_ptr<Scheduler> CreateScheduler(SchedulerKind kind, double eta,
   }
   DPACK_CHECK_MSG(false, "unhandled scheduler kind");
   return nullptr;
+}
+
+size_t ResolveNumShards(size_t requested, size_t known_blocks, size_t hardware_hint) {
+  if (requested > 0) {
+    return requested;
+  }
+  size_t hardware = hardware_hint > 0
+                        ? hardware_hint
+                        : static_cast<size_t>(std::thread::hardware_concurrency());
+  if (hardware == 0) {
+    hardware = 1;  // hardware_concurrency() may legitimately report "unknown".
+  }
+  return std::max<size_t>(1, std::min(hardware, known_blocks));
 }
 
 }  // namespace dpack

@@ -7,15 +7,18 @@
 namespace dpack {
 
 ShardedScheduleContext::ShardedScheduleContext(GreedyMetric metric, double eta,
-                                               size_t num_shards)
+                                               size_t num_shards, BlockPartition partition)
     : ShardedScheduleContext(metric, eta, num_shards,
-                             /*pool_workers=*/num_shards >= 1 ? num_shards - 1 : 0) {}
+                             /*pool_workers=*/num_shards >= 1 ? num_shards - 1 : 0,
+                             partition) {}
 
 ShardedScheduleContext::ShardedScheduleContext(GreedyMetric metric, double eta,
-                                               size_t num_shards, size_t pool_workers)
+                                               size_t num_shards, size_t pool_workers,
+                                               BlockPartition partition)
     : metric_(metric),
       eta_(eta),
       num_shards_(num_shards),
+      partition_mode_(partition),
       pool_(pool_workers),
       shards_(num_shards) {
   DPACK_CHECK(eta_ > 0.0);
@@ -48,7 +51,7 @@ void ShardedScheduleContext::BindManager(BlockManager& blocks) {
   DPACK_CHECK_MSG(bound_ == nullptr,
                   "engine already bound to another manager: call Invalidate() first");
   bound_ = &blocks;
-  partition_.emplace(&blocks, num_shards_);
+  partition_.emplace(&blocks, num_shards_, partition_mode_);
   snapshot_.emplace(blocks.grid());
 }
 

@@ -5,10 +5,12 @@
 // RecomputeScheduleBatch) — pinned by tests/core/incremental_equivalence_test.cc.
 //
 // Partitioning (see src/block/sharded_block_manager.h for the block side):
-//   - Blocks: block g belongs to shard g mod N (ShardedBlockManager). Each shard owns its
-//     blocks' dirty detection, snapshot refreshes, membership signatures, and best-alpha
-//     recomputes; all of it writes only shard-owned entries of the shared, id-indexed
-//     arrays, so phases need no locks.
+//   - Blocks: assigned to shards by the configured BlockPartition (round-robin g mod N, or
+//     64-block id-range chunks for locality). Each shard owns its blocks' dirty detection,
+//     snapshot refreshes, membership signatures, and best-alpha recomputes; all of it
+//     writes only shard-owned entries of the shared, id-indexed arrays, so phases need no
+//     locks. The partition never feeds the merge order, so grants are byte-identical under
+//     either mode.
 //   - Tasks: task i's home shard is id mod N. Each shard owns its home tasks' score cache
 //     and score heap — a per-shard ScheduleContext slice — and rescoring reads the shared
 //     capacity snapshot that the block phase published (the pool's join is the barrier).
@@ -74,7 +76,10 @@ class ShardedScheduleContext : public ScheduleEngine {
   // `eta` is DPack's approximation parameter (> 0); `num_shards` >= 1. The pool spawns
   // num_shards - 1 worker threads (the caller is the remaining executor), independent of the
   // core count, so the engine behaves identically — just timesliced — when oversubscribed.
-  ShardedScheduleContext(GreedyMetric metric, double eta, size_t num_shards);
+  // `partition` selects the block-to-shard assignment (grants are byte-identical under
+  // either; see src/block/sharded_block_manager.h).
+  ShardedScheduleContext(GreedyMetric metric, double eta, size_t num_shards,
+                         BlockPartition partition = BlockPartition::kRoundRobin);
 
   // Same cycle protocol as ScheduleContext::ScheduleBatch: immutable pending tasks per id
   // between cycles (late block resolution excepted), the same BlockManager every cycle, all
@@ -93,7 +98,7 @@ class ShardedScheduleContext : public ScheduleEngine {
   // Subclass constructor: `pool_workers` is the worker-pool thread count (the async engine
   // passes 0 — it brings its own per-shard threads and never touches the pool).
   ShardedScheduleContext(GreedyMetric metric, double eta, size_t num_shards,
-                         size_t pool_workers);
+                         size_t pool_workers, BlockPartition partition);
   // One shard's slice of the engine: the task-side ScheduleContext state for its home tasks
   // plus scratch for its owned blocks' best-alpha subproblems. Counters accumulate into the
   // engine-wide ScheduleContextStats after every cycle.
@@ -171,6 +176,7 @@ class ShardedScheduleContext : public ScheduleEngine {
   GreedyMetric metric_;
   double eta_;
   size_t num_shards_;
+  BlockPartition partition_mode_;
   ScheduleContextStats stats_;
   uint64_t cycle_stamp_ = 0;
 

@@ -236,7 +236,8 @@ OrchestratorRunResult ClusterOrchestrator::RunOnlineInternal(const ClusterSnapsh
       meta.period = config_.period;
       meta.unlock_steps = config_.unlock_steps;
       meta.fair_share_n = online.config().fair_share_n;
-      meta.num_shards = std::max<size_t>(1, config_.num_shards);
+      // Already resolved (>= 1) by the driver's constructor — the single "0 = auto" point.
+      meta.num_shards = online.config().num_shards;
       meta.async = config_.async;
       std::string encoded = EncodeSnapshotBinary(
           CaptureSnapshot(blocks, online.pending(), online.metrics(), meta));

@@ -1,0 +1,68 @@
+// Checked CLI parsing: the examples' argv handling goes through TryParseUint64/TryParseSize
+// (and the exiting ParseSizeArg/ParseUint64Arg wrappers). Pin the accept/reject boundary —
+// the old bare-atoi parsing silently turned "abc" and "-3" into 0, which is exactly the bug
+// class these helpers exist to kill.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "src/common/cli.h"
+
+namespace dpack {
+namespace {
+
+TEST(CliTest, ParsesPlainDecimals) {
+  EXPECT_EQ(TryParseUint64("0"), 0u);
+  EXPECT_EQ(TryParseUint64("7"), 7u);
+  EXPECT_EQ(TryParseUint64("10000"), 10000u);
+  EXPECT_EQ(TryParseUint64("18446744073709551615"),
+            std::numeric_limits<uint64_t>::max());
+}
+
+TEST(CliTest, RejectsNonNumbers) {
+  EXPECT_FALSE(TryParseUint64("").has_value());
+  EXPECT_FALSE(TryParseUint64("abc").has_value());
+  EXPECT_FALSE(TryParseUint64("12x").has_value());  // atoi would say 12.
+  EXPECT_FALSE(TryParseUint64("x12").has_value());
+  EXPECT_FALSE(TryParseUint64("-3").has_value());  // atoi-to-size_t would wrap.
+  EXPECT_FALSE(TryParseUint64("+3").has_value());
+  EXPECT_FALSE(TryParseUint64(" 3").has_value());
+  EXPECT_FALSE(TryParseUint64("3 ").has_value());
+  EXPECT_FALSE(TryParseUint64("1.5").has_value());
+}
+
+TEST(CliTest, RejectsOverflow) {
+  // UINT64_MAX + 1 and a digit string far past the range.
+  EXPECT_FALSE(TryParseUint64("18446744073709551616").has_value());
+  EXPECT_FALSE(TryParseUint64("99999999999999999999999").has_value());
+}
+
+TEST(CliTest, SizeParsingMatchesUint64OnThisPlatform) {
+  EXPECT_EQ(TryParseSize("4096"), size_t{4096});
+  EXPECT_FALSE(TryParseSize("nope").has_value());
+  if constexpr (sizeof(size_t) < sizeof(uint64_t)) {
+    EXPECT_FALSE(TryParseSize("18446744073709551615").has_value());
+  } else {
+    EXPECT_EQ(TryParseSize("18446744073709551615"),
+              static_cast<size_t>(std::numeric_limits<uint64_t>::max()));
+  }
+}
+
+TEST(CliTest, BadArgExitsNonzeroWithUsage) {
+  // ParseSizeArg never returns on bad input: it prints the usage line to stderr and exits
+  // with status 2 (the examples' conventional flag-error status).
+  EXPECT_EXIT(ParseSizeArg("prog", "not-a-number", "num_tasks", "prog [num_tasks]"),
+              testing::ExitedWithCode(2), "invalid num_tasks 'not-a-number'");
+  EXPECT_EXIT(ParseUint64Arg("prog", "-1", "--seed", "prog [--seed N]"),
+              testing::ExitedWithCode(2), "usage: prog \\[--seed N\\]");
+}
+
+TEST(CliTest, GoodArgReturnsTheValue) {
+  EXPECT_EQ(ParseSizeArg("prog", "123", "num_tasks", "prog [num_tasks]"), 123u);
+  EXPECT_EQ(ParseUint64Arg("prog", "9", "--seed", "prog [--seed N]"), 9u);
+}
+
+}  // namespace
+}  // namespace dpack

@@ -1,0 +1,20 @@
+// Seeded raw-affinity violation: direct affinity syscalls outside
+// src/common/cpu_affinity.* bypass the cpuset-aware fallback and the pin_failures
+// accounting. The lint self-test asserts the rule fires on every call form here.
+
+#include <pthread.h>
+#include <sched.h>
+
+void PinSomewhere() {
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(0, &set);
+  pthread_setaffinity_np(pthread_self(), sizeof(set), &set);  // raw-affinity
+  sched_setaffinity(0, sizeof(set), &set);                    // raw-affinity
+}
+
+void ReadMask() {
+  cpu_set_t set;
+  sched_getaffinity(0, sizeof(set), &set);               // raw-affinity
+  pthread_getaffinity_np(pthread_self(), sizeof(set), &set);  // raw-affinity
+}

@@ -94,6 +94,26 @@ class ZeroBaselineAbsoluteTolerance(GateHarness):
             [bench("BM_Steady", full_recomputes=2e-6)])
         self.assertEqual(rc, 1, out)
 
+    def test_ring_and_pin_counters_are_gated(self):
+        # ring_retries and pin_failures are zero by construction (the driver drains every
+        # cycle; pinned legs only pick allowed cores) — the gate must treat them as real
+        # counters, zero-baseline semantics included, not ignore them as unknown fields.
+        rc, out = self.run_gate(
+            [bench("BM_Async", ring_retries=0.0, pin_failures=0.0,
+                   ring_publishes_per_cycle=4.0)],
+            [bench("BM_Async", ring_retries=0.0, pin_failures=0.0,
+                   ring_publishes_per_cycle=4.0)])
+        self.assertEqual(rc, 0, out)
+        rc, out = self.run_gate(
+            [bench("BM_Async", ring_retries=0.0)],
+            [bench("BM_Async", ring_retries=3.0)])
+        self.assertEqual(rc, 1, out)
+        self.assertIn("REGRESSION", out)
+        rc, out = self.run_gate(
+            [bench("BM_Async", pin_failures=0.0)],
+            [bench("BM_Async", pin_failures=1.0)])
+        self.assertEqual(rc, 1, out)
+
 
 class MissingKeys(GateHarness):
     def test_current_counter_absent_from_baseline_fails(self):
