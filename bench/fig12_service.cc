@@ -4,19 +4,27 @@
 // is byte-identical to the in-process engine before reporting anything: a counter dump over
 // a wrong schedule would gate CI on garbage.
 //
+// The fig12_service_net legs (ISSUE 10) repeat the exercise through the socket edge: a
+// daemon forked onto a Unix socket, this process driving the workload as a remote tenant
+// (src/service/client.h), gating the client's frame/byte counters per cycle.
+//
 // --json <path> emits the per-cycle message/byte/recovery counters in google-benchmark's
 // {"benchmarks": [...]} shape for scripts/check_bench_regression.py. Every gated field is
 // an exact function of the fixed workload and the protocol (messages and bytes per cycle,
 // score rounds, recoveries) — never timing. ring_stalls is reported for humans but not
 // gated: it counts producer back-off, which depends on OS scheduling.
 
+#include <unistd.h>
+
 #include <chrono>
 #include <cstdio>
+#include <iterator>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/common/subprocess.h"
 
 namespace dpack::bench {
 namespace {
@@ -100,6 +108,121 @@ LegResult RunLeg(const ServiceLeg& leg) {
   return result;
 }
 
+// Remote-client legs (ISSUE 10): the same scenarios driven through the socket edge — a
+// forked daemon on a Unix socket, the bench process as the tenant client. The self-check
+// diffs the remotely observed grant trace against the in-process engine; the reported
+// frame/byte counters are the client's, which are exact functions of the workload and the
+// wire schema (doubles travel as fixed-width bits), so they gate like every other counter.
+constexpr ServiceLeg kNetLegs[] = {
+    {"steady_poisson", 2, 2, 0, 0, ServiceRecovery::kReassign},
+    {"steady_poisson", 4, 4, 2, 1, ServiceRecovery::kRespawn},
+    {"bursty_hotspot", 2, 4, 0, 0, ServiceRecovery::kReassign},
+};
+
+std::string NetLegName(const ServiceLeg& leg) {
+  std::string name = LegName(leg);
+  name.replace(0, std::string("fig12_service").size(), "fig12_service_net");
+  return name;
+}
+
+struct NetLegResult {
+  NetCounters client;
+  size_t cycles = 0;
+  double wall_ms = 0.0;
+  bool trace_ok = false;
+};
+
+NetLegResult RunNetLeg(const ServiceLeg& leg, size_t index) {
+  AlphaGridPtr grid = AlphaGrid::Default();
+  CurvePool pool(grid, BlockCapacityCurve(grid, kEpsG, kDeltaG));
+  ScenarioWorkload workload =
+      GenerateScenario(pool, ScenarioByName(leg.scenario, kScenarioSeed));
+  workload.sim.record_grant_trace = true;
+
+  auto reference_scheduler = std::make_unique<GreedyScheduler>(
+      GreedyMetric::kDpack, GreedySchedulerOptions{.eta = 0.05, .incremental = true});
+  SimResult reference =
+      RunOnlineSimulation(std::move(reference_scheduler), workload.tasks, workload.sim);
+
+  const std::string socket_path =
+      "/tmp/dpack_fig12_net_" + std::to_string(getpid()) + "_" + std::to_string(index) +
+      ".sock";
+  SimConfig sim = workload.sim;
+  ServiceConfig service_config;
+  service_config.num_workers = leg.workers;
+  service_config.num_shards = leg.shards;
+  service_config.recovery = leg.recovery;
+  service_config.kill_at_round = leg.kill_round;
+  service_config.kill_worker = leg.kill_worker;
+  pid_t daemon = SpawnChild([socket_path, sim, service_config]() -> int {
+    AlphaGridPtr child_grid = AlphaGrid::Default();
+    BlockManager blocks(child_grid, sim.eps_g, sim.delta_g);
+    GrantServiceConfig config;
+    config.service = service_config;
+    config.admission_queue_capacity = sim.admission_queue_capacity;
+    config.period = sim.period;
+    config.unlock_steps = sim.unlock_steps;
+    config.fair_share_n = sim.fair_share_n;
+    GrantService service(GreedyMetric::kDpack, &blocks, config);
+    std::vector<double> schedule = BlockArrivalSchedule(sim);
+    size_t next_block = 0;
+    NetAddress address;
+    address.is_unix = true;
+    address.path = socket_path;
+    NetFrontConfig front_config;
+    front_config.serve_idle_budget = 400000;  // An orphaned daemon exits, never leaks.
+    NetServiceFront front(&service, &blocks, child_grid,
+                          std::make_unique<NetListener>(address), front_config,
+                          [&blocks, &schedule, &next_block](double now) {
+                            while (next_block < schedule.size() &&
+                                   schedule[next_block] <= now) {
+                              blocks.AddBlock(schedule[next_block]);
+                              ++next_block;
+                            }
+                          });
+    return front.ServeUntilShutdown() ? 0 : 3;
+  });
+
+  NetLegResult result;
+  auto start = std::chrono::steady_clock::now();
+  ServiceClient client;
+  std::string error;
+  RemoteRunResult remote;
+  bool ran = client.Connect("unix:" + socket_path, &error) &&
+             RunRemoteWorkload(client, workload.tasks, workload.sim, &remote, &error);
+  if (ran) {
+    ran = client.SendShutdown(&error);
+  }
+  auto end = std::chrono::steady_clock::now();
+  result.client = client.counters();
+  client.Close();
+  ChildStatus status = WaitChild(daemon);
+
+  result.cycles = remote.cycles_run;
+  result.wall_ms = std::chrono::duration<double, std::milli>(end - start).count();
+  result.trace_ok = ran && remote.grant_trace == reference.grant_trace &&
+                    status.state == ChildState::kExited && status.exit_code == 0;
+  if (!result.trace_ok) {
+    std::fprintf(stderr,
+                 "EQUIVALENCE VIOLATION: %s — %s\n", NetLegName(leg).c_str(),
+                 !ran ? error.c_str()
+                      : "remote grants differ from the in-process engine (or the daemon "
+                        "exited uncleanly)");
+  }
+  return result;
+}
+
+std::vector<std::pair<std::string, double>> GatedNetCounters(const NetLegResult& result) {
+  double cycles = static_cast<double>(result.cycles);
+  const NetCounters& c = result.client;
+  return {
+      {"net_frames_sent_per_cycle", static_cast<double>(c.frames_sent) / cycles},
+      {"net_frames_received_per_cycle", static_cast<double>(c.frames_received) / cycles},
+      {"net_bytes_sent_per_cycle", static_cast<double>(c.bytes_sent) / cycles},
+      {"net_bytes_received_per_cycle", static_cast<double>(c.bytes_received) / cycles},
+  };
+}
+
 std::vector<std::pair<std::string, double>> GatedCounters(const LegResult& result) {
   double cycles = static_cast<double>(result.cycles);
   const ServiceCounters& c = result.counters;
@@ -135,6 +258,23 @@ bool RunTable() {
         .Add(FormatDouble(result.wall_ms));
   }
   table.Print("Fig. 12: grant-service transport counters across fleet and crash legs");
+
+  CsvTable net_table({"leg", "cycles", "frames_sent/cycle", "frames_recv/cycle",
+                      "bytes_sent/cycle", "bytes_recv/cycle", "wall_ms"});
+  for (size_t i = 0; i < std::size(kNetLegs); ++i) {
+    NetLegResult result = RunNetLeg(kNetLegs[i], i);
+    ok = result.trace_ok && ok;
+    double cycles = static_cast<double>(result.cycles);
+    net_table.NewRow()
+        .Add(NetLegName(kNetLegs[i]))
+        .Add(result.cycles)
+        .Add(FormatDouble(static_cast<double>(result.client.frames_sent) / cycles))
+        .Add(FormatDouble(static_cast<double>(result.client.frames_received) / cycles))
+        .Add(FormatDouble(static_cast<double>(result.client.bytes_sent) / cycles))
+        .Add(FormatDouble(static_cast<double>(result.client.bytes_received) / cycles))
+        .Add(FormatDouble(result.wall_ms));
+  }
+  net_table.Print("Fig. 12 addendum: remote-client legs over the checksummed socket edge");
   std::printf("equivalence: %s — every leg %s the in-process grant trace\n",
               ok ? "OK" : "VIOLATED", ok ? "matches" : "DIVERGES FROM");
   return ok;
@@ -151,6 +291,17 @@ bool DumpCountersJson(const std::string& path) {
     entry.fields.push_back({"wall_ms", result.wall_ms});
     entry.fields.push_back({"ring_stalls_total", static_cast<double>(result.counters.ring_stalls)});
     for (const auto& field : GatedCounters(result)) {
+      entry.fields.push_back(field);
+    }
+    entries.push_back(std::move(entry));
+  }
+  for (size_t i = 0; i < std::size(kNetLegs); ++i) {
+    NetLegResult result = RunNetLeg(kNetLegs[i], i);
+    ok = result.trace_ok && ok;
+    BenchJsonEntry entry;
+    entry.name = NetLegName(kNetLegs[i]);
+    entry.fields.push_back({"wall_ms", result.wall_ms});
+    for (const auto& field : GatedNetCounters(result)) {
       entry.fields.push_back(field);
     }
     entries.push_back(std::move(entry));

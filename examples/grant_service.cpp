@@ -8,21 +8,45 @@
 //                         [--kill-round R] [--kill-worker W]
 //                         [--recovery reassign|respawn] [--differential]
 //
+// Remote client edge (src/service/net_transport.h): the same scenario driven over a
+// checksummed socket instead of in-process calls, for the CI remote-client kill leg.
+//
+//   example_grant_service <scenario> --listen unix:/path|tcp:PORT
+//                         [--serve-idle-budget N] [fleet flags as above]
+//   example_grant_service <scenario> --connect unix:/path|tcp:PORT
+//                         [--differential] [--shutdown]
+//   example_grant_service <scenario> --kill-client unix:/path|tcp:PORT
+//
+// --listen serves the scenario's block-arrival schedule as a socket daemon until a client
+// sends Shutdown (exit 0) or the idle budget expires (exit 1). --connect replays the
+// scenario's workload remotely and, with --differential, exits nonzero unless the daemon's
+// grants are byte-identical to an uninterrupted in-process run; --shutdown stops the daemon
+// afterwards. --kill-client connects, writes a deliberately unfinished frame, and SIGKILLs
+// itself mid-submission — the CI leg proving a vanishing client cannot wedge the daemon.
+//
 // This is the binary the CI `service` job drives: it launches the daemon + N workers,
 // injects the kill, and with --differential exits nonzero unless the (possibly recovered)
 // service run granted the exact same task ids in the exact same order as an uninterrupted
 // single-process run. The fleet demo at startup prints the worker pids so the job log shows
 // the real processes that were spawned (and, with a kill, which one died).
 
+#include <csignal>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 
 #include "src/common/cli.h"
+#include "src/common/frame.h"
+#include "src/common/sleep.h"
 #include "src/dpack/dpack.h"
 
 namespace {
@@ -32,7 +56,10 @@ using namespace dpack;  // Example code; the library itself never does this.
 constexpr char kUsage[] =
     "example_grant_service <scenario> [--seed N] [--metric dpack|dpf|area|fcfs]\n"
     "                      [--workers N] [--shards N] [--kill-round R] [--kill-worker W]\n"
-    "                      [--recovery reassign|respawn] [--differential]";
+    "                      [--recovery reassign|respawn] [--differential]\n"
+    "                      [--listen ADDR [--serve-idle-budget N]]\n"
+    "                      [--connect ADDR [--shutdown]] [--kill-client ADDR]\n"
+    "  ADDR is unix:<path> or tcp:<port> (loopback)";
 
 int ListScenarios() {
   std::printf("registered scenarios (see src/README.md for the stress-axis catalogue):\n");
@@ -108,6 +135,221 @@ long long CompareTraces(const std::vector<std::vector<TaskId>>& service_trace,
   return -1;
 }
 
+void PrintNetCounters(const char* who, const NetCounters& c) {
+  std::printf(
+      "  %s net: accepts %llu, disconnects %llu (budget %llu), frames %llu sent / "
+      "%llu received, bytes %llu / %llu,\n"
+      "      protocol rejects %llu, submits %llu accepted / %llu rejected, cycles %llu\n",
+      who, static_cast<unsigned long long>(c.accepts),
+      static_cast<unsigned long long>(c.disconnects),
+      static_cast<unsigned long long>(c.budget_disconnects),
+      static_cast<unsigned long long>(c.frames_sent),
+      static_cast<unsigned long long>(c.frames_received),
+      static_cast<unsigned long long>(c.bytes_sent),
+      static_cast<unsigned long long>(c.bytes_received),
+      static_cast<unsigned long long>(c.protocol_rejects),
+      static_cast<unsigned long long>(c.submits_accepted),
+      static_cast<unsigned long long>(c.submits_rejected),
+      static_cast<unsigned long long>(c.cycles_run));
+}
+
+// --listen: serve the scenario as a socket daemon — the scenario supplies the block-arrival
+// schedule (applied through the advance hook as client request instants pass each arrival)
+// while the tasks come from remote clients. Exits 0 on a clean client Shutdown.
+int RunDaemon(const std::string& address_text, GreedyMetric metric,
+              const ServiceConfig& service_config, const ScenarioWorkload& workload,
+              uint64_t serve_idle_budget) {
+  NetAddress address;
+  std::string error;
+  if (!ParseNetAddress(address_text, &address, &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 2;
+  }
+  const SimConfig& sim = workload.sim;
+  AlphaGridPtr grid = sim.grid != nullptr ? sim.grid : AlphaGrid::Default();
+  BlockManager blocks(grid, sim.eps_g, sim.delta_g);
+  // The same online-driver knobs RunOnlineSimulation would derive from this SimConfig, so
+  // a remote replay of the workload is grant-identical to the in-process run.
+  GrantServiceConfig config;
+  config.service = service_config;
+  config.admission_queue_capacity = sim.admission_queue_capacity;
+  config.period = sim.period;
+  config.unlock_steps = sim.unlock_steps;
+  config.fair_share_n = sim.fair_share_n;
+  GrantService service(metric, &blocks, config);
+  // The worker fleet forks lazily on the first scheduling cycle; pids are printed after
+  // serving, once the fleet existed.
+  std::printf("daemon: pid %lld, %zu workers configured\n",
+              static_cast<long long>(getpid()), service_config.num_workers);
+
+  std::vector<double> schedule = BlockArrivalSchedule(sim);
+  size_t next_block = 0;
+  auto advance = [&blocks, &schedule, &next_block](double now) {
+    while (next_block < schedule.size() && schedule[next_block] <= now) {
+      blocks.AddBlock(schedule[next_block]);
+      ++next_block;
+    }
+  };
+  NetFrontConfig front_config;
+  front_config.serve_idle_budget = serve_idle_budget;
+  NetServiceFront front(&service, &blocks, grid, std::make_unique<NetListener>(address),
+                        front_config, advance);
+  std::printf("daemon: listening on %s\n", front.listener().address_string().c_str());
+  std::fflush(stdout);
+
+  bool clean_shutdown = front.ServeUntilShutdown();
+  std::printf("daemon: served %zu remote cycles, %llu granted, %zu blocks arrived\n",
+              front.grant_trace().size(),
+              static_cast<unsigned long long>(service.metrics().allocated()), next_block);
+  ServiceTransport& transport = service.scheduler().transport();
+  if (transport.started()) {  // The fleet forks lazily on the first scheduling cycle.
+    for (size_t w = 0; w < transport.num_workers(); ++w) {
+      std::printf("  worker %zu: pid %lld %s\n", w, static_cast<long long>(transport.pid(w)),
+                  transport.alive(w) ? "alive" : "dead");
+    }
+  }
+  PrintNetCounters("daemon", front.counters());
+  PrintCounters(service.counters());
+  if (!clean_shutdown) {
+    std::fprintf(stderr, "FAIL: serve idle budget expired without a client Shutdown\n");
+    return 1;
+  }
+  return 0;
+}
+
+// --connect: replay the scenario's workload against a --listen daemon of the same scenario.
+// With --differential the remote grant trace must be byte-identical to an uninterrupted
+// in-process run; with --shutdown the daemon is stopped afterwards.
+int RunRemoteClient(const std::string& address_text, GreedyMetric metric,
+                    const ScenarioWorkload& workload, bool differential, bool shutdown) {
+  ServiceClient client;
+  std::string error;
+  if (!client.Connect(address_text, &error)) {
+    std::fprintf(stderr, "FAIL: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("client: pid %lld connected to %s\n", static_cast<long long>(getpid()),
+              address_text.c_str());
+  RemoteRunResult result;
+  if (!RunRemoteWorkload(client, workload.tasks, workload.sim, &result, &error)) {
+    std::fprintf(stderr, "FAIL: remote run: %s\n", error.c_str());
+    return 1;
+  }
+  uint64_t granted = 0;
+  for (const std::vector<TaskId>& cycle : result.grant_trace) {
+    granted += cycle.size();
+  }
+  std::printf("remote run: %zu cycles, %llu granted, %llu submitted "
+              "(%llu accepted, %llu rejected)\n",
+              result.cycles_run, static_cast<unsigned long long>(granted),
+              static_cast<unsigned long long>(result.submitted),
+              static_cast<unsigned long long>(result.accepted),
+              static_cast<unsigned long long>(result.rejected));
+  PrintNetCounters("client", client.counters());
+
+  int exit_code = 0;
+  if (differential) {
+    GreedySchedulerOptions options;
+    options.incremental = true;
+    auto reference = std::make_unique<GreedyScheduler>(metric, options);
+    SimConfig reference_config = workload.sim;
+    reference_config.record_grant_trace = true;
+    SimResult reference_result =
+        RunOnlineSimulation(std::move(reference), workload.tasks, reference_config);
+    long long diverged = CompareTraces(result.grant_trace, reference_result.grant_trace);
+    if (diverged >= 0) {
+      std::fprintf(stderr,
+                   "FAIL: remote grant trace diverged from the in-process engine at cycle "
+                   "%lld (remote %zu cycles, reference %zu cycles)\n",
+                   diverged, result.grant_trace.size(),
+                   reference_result.grant_trace.size());
+      exit_code = 1;
+    } else if (granted != reference_result.metrics.allocated()) {
+      std::fprintf(stderr, "FAIL: remote allocated %llu vs reference %llu\n",
+                   static_cast<unsigned long long>(granted),
+                   static_cast<unsigned long long>(reference_result.metrics.allocated()));
+      exit_code = 1;
+    } else {
+      std::printf("OK: remote grant trace byte-identical to the in-process engine "
+                  "(%zu cycles)\n",
+                  reference_result.grant_trace.size());
+    }
+  }
+  if (shutdown) {
+    if (!client.SendShutdown(&error)) {
+      std::fprintf(stderr, "FAIL: shutdown: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("client: sent Shutdown\n");
+  }
+  return exit_code;
+}
+
+// One blocking connect attempt for the kill client; returns the fd or -1 with errno set.
+int BlockingConnect(const NetAddress& address) {
+  if (address.is_unix) {
+    int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    sockaddr_un addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, address.path.c_str(), address.path.size() + 1);
+    if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) return fd;
+    int saved = errno;
+    close(fd);
+    errno = saved;
+    return -1;
+  }
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(address.port);
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) return fd;
+  int saved = errno;
+  close(fd);
+  errno = saved;
+  return -1;
+}
+
+// --kill-client: connect, write the first half of a well-formed Submit frame, and SIGKILL
+// ourselves mid-submission. The daemon must discard the partial bytes on the EOF and keep
+// serving — the CI remote-client kill leg asserts exactly that.
+int RunKillClient(const std::string& address_text) {
+  NetAddress address;
+  std::string error;
+  if (!ParseNetAddress(address_text, &address, &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 2;
+  }
+  int fd = -1;
+  for (int attempt = 0; attempt < 20000 && fd < 0; ++attempt) {
+    fd = BlockingConnect(address);
+    if (fd < 0) {
+      if (errno != ECONNREFUSED && errno != ENOENT && errno != EINTR) break;
+      SleepFullMicros(500);  // The daemon may still be binding.
+    }
+  }
+  if (fd < 0) {
+    std::fprintf(stderr, "FAIL: kill-client cannot connect to %s: %s\n",
+                 address_text.c_str(), std::strerror(errno));
+    return 1;
+  }
+  SubmitMsg msg;
+  msg.seq = 1;  // Content is irrelevant: the frame never finishes.
+  std::string frame;
+  AppendFrame(&frame, EncodeMessage(ServiceMessage(msg)));
+  size_t half = frame.size() / 2;
+  ssize_t sent = send(fd, frame.data(), half, MSG_NOSIGNAL);
+  std::printf("kill-client: pid %lld sent %zd/%zu frame bytes, raising SIGKILL\n",
+              static_cast<long long>(getpid()), sent, frame.size());
+  std::fflush(stdout);
+  raise(SIGKILL);
+  return 1;  // Unreachable.
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -122,10 +364,17 @@ int main(int argc, char** argv) {
   bool differential = false;
   uint64_t kill_round = 0;
   size_t kill_worker = 0;
+  std::string listen_addr, connect_addr, kill_client_addr;
+  uint64_t serve_idle_budget = 0;
+  bool send_shutdown = false;
   for (int i = 2; i < argc; ++i) {
     std::string flag = argv[i];
     if (flag == "--differential") {
       differential = true;
+      continue;
+    }
+    if (flag == "--shutdown") {
+      send_shutdown = true;
       continue;
     }
     if (i + 1 >= argc) {
@@ -145,6 +394,14 @@ int main(int argc, char** argv) {
       kill_round = ParseUint64Arg(argv[0], value, "--kill-round", kUsage);
     } else if (flag == "--kill-worker") {
       kill_worker = ParseSizeArg(argv[0], value, "--kill-worker", kUsage);
+    } else if (flag == "--listen") {
+      listen_addr = value;
+    } else if (flag == "--connect") {
+      connect_addr = value;
+    } else if (flag == "--kill-client") {
+      kill_client_addr = value;
+    } else if (flag == "--serve-idle-budget") {
+      serve_idle_budget = ParseUint64Arg(argv[0], value, "--serve-idle-budget", kUsage);
     } else if (flag == "--recovery") {
       if (value == "reassign") {
         service_config.recovery = ServiceRecovery::kReassign;
@@ -166,6 +423,15 @@ int main(int argc, char** argv) {
                  service_config.num_workers);
     return 2;
   }
+  int socket_modes = (listen_addr.empty() ? 0 : 1) + (connect_addr.empty() ? 0 : 1) +
+                     (kill_client_addr.empty() ? 0 : 1);
+  if (socket_modes > 1) {
+    std::fprintf(stderr, "--listen, --connect, and --kill-client are mutually exclusive\n");
+    return 2;
+  }
+  if (!kill_client_addr.empty()) {
+    return RunKillClient(kill_client_addr);  // Needs no workload: it dies mid-frame.
+  }
 
   AlphaGridPtr grid = AlphaGrid::Default();
   CurvePool pool(grid, BlockCapacityCurve(grid, 10.0, 1e-7));
@@ -179,6 +445,12 @@ int main(int argc, char** argv) {
               : metric == GreedyMetric::kDpf  ? "dpf"
               : metric == GreedyMetric::kArea ? "area"
                                               : "fcfs");
+  if (!listen_addr.empty()) {
+    return RunDaemon(listen_addr, metric, service_config, workload, serve_idle_budget);
+  }
+  if (!connect_addr.empty()) {
+    return RunRemoteClient(connect_addr, metric, workload, differential, send_shutdown);
+  }
   FleetDemo(metric, service_config);
 
   if (kill_round > 0) {

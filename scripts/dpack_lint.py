@@ -34,11 +34,15 @@ src/core, src/block, and src/service unless noted):
   pointer-keyed-order      Containers ordered or hashed by pointer keys (std::map<T*, ...>,
                            std::set<T*>, std::hash<T*>): address-dependent order leaks ASLR
                            into grant decisions.
-  float-equality           Bare ==/!= on budget quantities (demand/budget/consumed/
-                           unlocked/capacity/eps). Budget feasibility must go through the
-                           blessed tolerance helpers (PrivacyBlock::CanAccept/CanCharge and
-                           their 1e-9*(1+cap) slack); exact float equality is a
-                           representation-dependent trap. Ordering comparators on scores
+  float-equality           (grant-ordering dirs + src/workload) Bare ==/!= on budget
+                           quantities (demand/budget/consumed/unlocked/capacity/eps).
+                           Budget feasibility must go through the blessed tolerance helpers
+                           (PrivacyBlock::CanAccept/CanCharge and their 1e-9*(1+cap)
+                           slack); exact float equality is a representation-dependent trap.
+                           src/workload is in scope because trace readers compare reparsed
+                           doubles against grid values — those must compare bit patterns
+                           (BitsOfDouble), not float ==, or a text roundtrip silently
+                           accepts a neighboring grid. Ordering comparators on scores
                            use </> tie-breaks and are out of scope by construction.
 
 Suppression: `// dpack-lint: allow(<rule>): <reason>` on the offending line or the line
@@ -71,6 +75,10 @@ import tempfile
 # grant-equivalence proof the same way it would in-process (deadlines in the service are
 # iteration budgets, not clocks, precisely so this rule can hold there).
 GRANT_ORDERING_DIRS = ("src/core", "src/block", "src/service")
+# float-equality reaches further: trace I/O reparses budget doubles from text, where a bare
+# == against a grid value is the same representation trap (the other grant-ordering rules
+# stay scoped — workload generation may iterate its own maps without ordering grants).
+FLOAT_EQ_DIRS = GRANT_ORDERING_DIRS + ("src/workload",)
 # raw-mutex applies everywhere C++ lives; the annotations header is the one sanctioned home.
 ALL_CODE_DIRS = ("src", "tests", "bench", "examples")
 THREAD_ANNOTATIONS_HEADER = "src/common/thread_annotations.h"
@@ -110,11 +118,14 @@ BUDGET_TOKEN = r"(?:demand|budget|consumed|unlocked|capacity|eps_g|epsilon|remai
 FLOAT_EQ_RE = re.compile(
     r"(?:[\w.\]\)]*" + BUDGET_TOKEN + r"[\w.\[\(\]\)]*\s*(?:==|!=)\s*[^=;]"
     r"|[^=!<>;]\s*(?:==|!=)\s*[\w.\(]*" + BUDGET_TOKEN + r")")
-# Comparison shapes float-equality must ignore: iterator/lookup results, null checks, and
-# size_t bookkeeping through .size()/.capacity()/.count() — none of them are budget doubles.
+# Comparison shapes float-equality must ignore: iterator/lookup results, null checks,
+# size_t bookkeeping through .size()/.capacity()/.count(), and scoped-enum dispatch against
+# a Type::kConstant (e.g. spec.demand == DemandDistribution::kZipfEpsMin) — none of them
+# are budget doubles.
 FLOAT_EQ_BLANK_RES = (
     re.compile(r"[\w.\->]*(?:\.|->)c?(?:end|begin|find|count|size|capacity)\s*\([^)]*\)"),
     re.compile(r"(?:==|!=)\s*nullptr|nullptr\s*(?:==|!=)"),
+    re.compile(r"(?:==|!=)\s*\w+(?:::\w+)*::k\w+|\w+(?:::\w+)*::k\w+\s*(?:==|!=)"),
 )
 RANGE_FOR_RE = re.compile(r"\bfor\s*\([^;)]*:\s*([^)]+)\)")
 # Iterator walks need a begin(); a bare end() is the find()-sentinel lookup idiom.
@@ -268,61 +279,67 @@ def lint_file(rel, text):
                     f"PinCurrentThreadToCore/AllowedCores so the cpuset-aware fallback "
                     f"and pin_failures accounting apply")
 
-    if not in_scope(rel_posix, GRANT_ORDERING_DIRS):
+    in_grant_scope = in_scope(rel_posix, GRANT_ORDERING_DIRS)
+    in_float_eq_scope = in_scope(rel_posix, FLOAT_EQ_DIRS)
+    if not in_grant_scope and not in_float_eq_scope:
         return findings
 
-    # Harvest unordered-declared names for the iteration rule, and enforce the
-    # justification annotation on every unordered declaration.
-    unordered_names = set()
-    for idx, line in enumerate(lines, 1):
-        m = UNORDERED_NAME_RE.search(line)
-        if m:
-            unordered_names.add(m.group(1))
-        if UNORDERED_DECL_RE.search(line):
-            if not allowed(raw_lines, idx, "unordered-member"):
-                findings.append(Finding(
-                    rel_posix, idx, "unordered-member",
-                    "unordered container in grant-ordering code needs a reviewed "
-                    "justification: '// dpack-lint: allow(unordered-member): "
-                    "lookup-only — <why no iteration order escapes>'"))
+    if in_grant_scope:
+        # Harvest unordered-declared names for the iteration rule, and enforce the
+        # justification annotation on every unordered declaration.
+        unordered_names = set()
+        for idx, line in enumerate(lines, 1):
+            m = UNORDERED_NAME_RE.search(line)
+            if m:
+                unordered_names.add(m.group(1))
+            if UNORDERED_DECL_RE.search(line):
+                if not allowed(raw_lines, idx, "unordered-member"):
+                    findings.append(Finding(
+                        rel_posix, idx, "unordered-member",
+                        "unordered container in grant-ordering code needs a reviewed "
+                        "justification: '// dpack-lint: allow(unordered-member): "
+                        "lookup-only — <why no iteration order escapes>'"))
 
-    # unordered-iteration: range-for or begin()/end() over a name declared unordered in
-    # this file (declaration-local heuristic; the clang-query matcher is the type-resolved
-    # version).
-    for idx, line in enumerate(lines, 1):
-        m = RANGE_FOR_RE.search(line)
-        if m:
-            range_expr = m.group(1)
-            for name in unordered_names:
-                if re.search(r"\b" + re.escape(name) + r"\b", range_expr):
-                    add(idx, "unordered-iteration",
-                        f"iteration over unordered container '{name}' on a grant-ordering "
-                        f"path: hash order is seed/pointer dependent and would leak into "
-                        f"the grant sequence")
-        m = ITER_BEGIN_RE.search(line)
-        if m and m.group(1) in unordered_names:
-            add(idx, "unordered-iteration",
-                f"iterator walk over unordered container '{m.group(1)}' on a "
-                f"grant-ordering path")
+        # unordered-iteration: range-for or begin()/end() over a name declared unordered in
+        # this file (declaration-local heuristic; the clang-query matcher is the
+        # type-resolved version).
+        for idx, line in enumerate(lines, 1):
+            m = RANGE_FOR_RE.search(line)
+            if m:
+                range_expr = m.group(1)
+                for name in unordered_names:
+                    if re.search(r"\b" + re.escape(name) + r"\b", range_expr):
+                        add(idx, "unordered-iteration",
+                            f"iteration over unordered container '{name}' on a "
+                            f"grant-ordering path: hash order is seed/pointer dependent "
+                            f"and would leak into the grant sequence")
+            m = ITER_BEGIN_RE.search(line)
+            if m and m.group(1) in unordered_names:
+                add(idx, "unordered-iteration",
+                    f"iterator walk over unordered container '{m.group(1)}' on a "
+                    f"grant-ordering path")
 
     for idx, line in enumerate(lines, 1):
-        for pattern, what in NONDET_RES:
-            if pattern.search(line):
-                add(idx, "nondeterministic-source",
-                    f"{what} in engine code; grant paths must be pure functions of "
-                    f"(workload, seed, block state)")
-        for pattern, what in POINTER_KEY_RES:
-            if pattern.search(line):
-                add(idx, "pointer-keyed-order",
-                    f"{what}: address-dependent order leaks ASLR into grant decisions")
-        eq_line = line
-        for blank in FLOAT_EQ_BLANK_RES:
-            eq_line = blank.sub(" ", eq_line)
-        if FLOAT_EQ_RE.search(eq_line):
-            add(idx, "float-equality",
-                "bare ==/!= on a budget quantity; use the blessed tolerance helpers "
-                "(PrivacyBlock::CanAccept/CanCharge, 1e-9*(1+cap) slack) or an ordered "
-                "</> comparison")
+        if in_grant_scope:
+            for pattern, what in NONDET_RES:
+                if pattern.search(line):
+                    add(idx, "nondeterministic-source",
+                        f"{what} in engine code; grant paths must be pure functions of "
+                        f"(workload, seed, block state)")
+            for pattern, what in POINTER_KEY_RES:
+                if pattern.search(line):
+                    add(idx, "pointer-keyed-order",
+                        f"{what}: address-dependent order leaks ASLR into grant decisions")
+        if in_float_eq_scope:
+            eq_line = line
+            for blank in FLOAT_EQ_BLANK_RES:
+                eq_line = blank.sub(" ", eq_line)
+            if FLOAT_EQ_RE.search(eq_line):
+                add(idx, "float-equality",
+                    "bare ==/!= on a budget quantity; use the blessed tolerance helpers "
+                    "(PrivacyBlock::CanAccept/CanCharge, 1e-9*(1+cap) slack), bit-pattern "
+                    "comparison (BitsOfDouble) for exact-roundtrip checks, or an ordered "
+                    "</> comparison")
 
     return findings
 

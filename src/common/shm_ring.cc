@@ -7,29 +7,10 @@
 #include <new>
 
 #include "src/common/check.h"
+#include "src/common/frame.h"  // The [len][FNV-1a][payload] frame codec, shared with sockets.
 #include "src/common/wire.h"
 
 namespace dpack {
-
-namespace {
-
-constexpr size_t kFrameHeaderBytes = 16;  // u64 length + u64 FNV-1a checksum.
-
-uint64_t LoadU64Le(const char* p) {
-  uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) {
-    v |= static_cast<uint64_t>(static_cast<unsigned char>(p[i])) << (8 * i);
-  }
-  return v;
-}
-
-void StoreU64Le(char* p, uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    p[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
-  }
-}
-
-}  // namespace
 
 // --- ShmRegion -----------------------------------------------------------------------------
 
@@ -111,8 +92,7 @@ bool ShmRing::TryPush(std::string_view payload) {
     return false;
   }
   char frame_header[kFrameHeaderBytes];
-  StoreU64Le(frame_header, payload.size());
-  StoreU64Le(frame_header + 8, Fnv1a64(payload));
+  WriteFrameHeader(frame_header, payload);
   CopyIn(tail, frame_header, kFrameHeaderBytes);
   CopyIn(tail + kFrameHeaderBytes, payload.data(), payload.size());
   // The release publish is what makes a mid-write SIGKILL invisible: until this store the

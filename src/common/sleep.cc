@@ -1,0 +1,21 @@
+#include "src/common/sleep.h"
+
+#include <cerrno>
+#include <ctime>
+
+namespace dpack {
+
+void SleepFullMicros(unsigned int micros) {
+  if (micros == 0) {
+    return;
+  }
+  // nanosleep writes the unslept remainder into its second argument on EINTR, so resuming
+  // with req = remainder accumulates to the full duration without reading a clock.
+  struct timespec req;
+  req.tv_sec = micros / 1000000u;
+  req.tv_nsec = static_cast<long>(micros % 1000000u) * 1000;
+  while (nanosleep(&req, &req) != 0 && errno == EINTR) {
+  }
+}
+
+}  // namespace dpack

@@ -1,0 +1,21 @@
+// Full-duration poll sleep for the service transports' liveness deadlines.
+//
+// Every blocking wait in the service is an iteration budget: `budget` polls separated by a
+// fixed `poll_sleep_us` sleep, so the deadline is budget * poll_sleep_us of real time with
+// no clock read on the scheduling path. `usleep` breaks that arithmetic: it returns early
+// on EINTR (any signal — and the daemon fields SIGCHLD from its worker fleet constantly),
+// silently shrinking the deadline by however often signals land. SleepFullMicros resumes
+// `nanosleep` with the kernel-reported remaining time until the full duration has elapsed,
+// so a poll interval means what the budget arithmetic assumes it means.
+
+#ifndef SRC_COMMON_SLEEP_H_
+#define SRC_COMMON_SLEEP_H_
+
+namespace dpack {
+
+// Sleeps for the full `micros` microseconds, resuming across EINTR. A no-op for 0.
+void SleepFullMicros(unsigned int micros);
+
+}  // namespace dpack
+
+#endif  // SRC_COMMON_SLEEP_H_

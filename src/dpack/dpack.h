@@ -76,7 +76,9 @@
 #include "src/rdp/alpha_grid.h"
 #include "src/rdp/mechanisms.h"
 #include "src/rdp/rdp_curve.h"
+#include "src/service/client.h"
 #include "src/service/grant_service.h"
+#include "src/service/net_transport.h"
 #include "src/service/service_scheduler.h"
 #include "src/sim/service_sim.h"
 #include "src/sim/sim_driver.h"

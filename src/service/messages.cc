@@ -19,6 +19,10 @@ enum class MsgType : uint8_t {
   kScoreReply = 7,
   kHello = 8,
   kShutdown = 9,
+  kSubmit = 10,
+  kSubmitReply = 11,
+  kRunCycle = 12,
+  kCycleReply = 13,
 };
 
 void EncodeBody(BinaryWriter& w, const BindMsg& m) {
@@ -86,6 +90,38 @@ void EncodeBody(BinaryWriter& w, const HelloMsg& m) { w.U32(m.worker_index); }
 
 void EncodeBody(BinaryWriter&, const ShutdownMsg&) {}
 
+void EncodeBody(BinaryWriter& w, const SubmitMsg& m) {
+  w.U64(m.seq);
+  w.F64(m.now);
+  w.U64(m.entries.size());
+  for (const auto& e : m.entries) {
+    w.I64(e.id);
+    w.F64(e.weight);
+    w.F64(e.arrival_time);
+    w.F64(e.timeout);
+    w.U64(e.num_recent_blocks);
+    w.F64Vec(e.demand);
+    w.I64Vec(e.blocks);
+  }
+}
+
+void EncodeBody(BinaryWriter& w, const SubmitReplyMsg& m) {
+  w.U64(m.seq);
+  w.U64(m.accepted);
+  w.U64(m.rejected);
+}
+
+void EncodeBody(BinaryWriter& w, const RunCycleMsg& m) {
+  w.U64(m.seq);
+  w.F64(m.now);
+}
+
+void EncodeBody(BinaryWriter& w, const CycleReplyMsg& m) {
+  w.U64(m.seq);
+  w.U64(m.cycle);
+  w.I64Vec(m.granted);
+}
+
 MsgType TypeOf(const ServiceMessage& message) {
   switch (message.index()) {
     case 0:
@@ -106,6 +142,14 @@ MsgType TypeOf(const ServiceMessage& message) {
       return MsgType::kHello;
     case 8:
       return MsgType::kShutdown;
+    case 9:
+      return MsgType::kSubmit;
+    case 10:
+      return MsgType::kSubmitReply;
+    case 11:
+      return MsgType::kRunCycle;
+    case 12:
+      return MsgType::kCycleReply;
     default:
       DPACK_CHECK(false);
       return MsgType::kShutdown;
@@ -231,6 +275,41 @@ bool DecodeBody(BinaryReader& r, HelloMsg* m) {
 
 bool DecodeBody(BinaryReader&, ShutdownMsg*) { return true; }
 
+bool DecodeBody(BinaryReader& r, SubmitMsg* m) {
+  if (!r.U64(&m->seq, "submit.seq") || !r.F64(&m->now, "submit.now")) {
+    return false;
+  }
+  uint64_t count = 0;
+  if (!r.Count(&count, 8 * 7, "submit.entries")) {
+    return false;
+  }
+  m->entries.resize(static_cast<size_t>(count));
+  for (auto& e : m->entries) {
+    if (!r.I64(&e.id, "submit.id") || !r.F64(&e.weight, "submit.weight") ||
+        !r.F64(&e.arrival_time, "submit.arrival_time") ||
+        !r.F64(&e.timeout, "submit.timeout") ||
+        !r.U64(&e.num_recent_blocks, "submit.num_recent_blocks") ||
+        !r.F64Vec(&e.demand, "submit.demand") || !r.I64Vec(&e.blocks, "submit.blocks")) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool DecodeBody(BinaryReader& r, SubmitReplyMsg* m) {
+  return r.U64(&m->seq, "submit_reply.seq") && r.U64(&m->accepted, "submit_reply.accepted") &&
+         r.U64(&m->rejected, "submit_reply.rejected");
+}
+
+bool DecodeBody(BinaryReader& r, RunCycleMsg* m) {
+  return r.U64(&m->seq, "run_cycle.seq") && r.F64(&m->now, "run_cycle.now");
+}
+
+bool DecodeBody(BinaryReader& r, CycleReplyMsg* m) {
+  return r.U64(&m->seq, "cycle_reply.seq") && r.U64(&m->cycle, "cycle_reply.cycle") &&
+         r.I64Vec(&m->granted, "cycle_reply.granted");
+}
+
 template <typename Msg>
 bool DecodeInto(BinaryReader& r, ServiceMessage* out) {
   Msg m;
@@ -304,6 +383,18 @@ bool DecodeMessage(std::string_view bytes, ServiceMessage* out, std::string* err
       break;
     case MsgType::kShutdown:
       ok = DecodeInto<ShutdownMsg>(r, out);
+      break;
+    case MsgType::kSubmit:
+      ok = DecodeInto<SubmitMsg>(r, out);
+      break;
+    case MsgType::kSubmitReply:
+      ok = DecodeInto<SubmitReplyMsg>(r, out);
+      break;
+    case MsgType::kRunCycle:
+      ok = DecodeInto<RunCycleMsg>(r, out);
+      break;
+    case MsgType::kCycleReply:
+      ok = DecodeInto<CycleReplyMsg>(r, out);
       break;
     default:
       return fail("unknown service message type " + std::to_string(type));

@@ -17,6 +17,14 @@
 //   daemon -> worker: Bind, BlockUpsert, BlockRefresh, TaskUpsert, State, ScoreRequest,
 //                     Shutdown
 //   worker -> daemon: Hello (once, after Bind is applied), ScoreReply
+//
+// The remote client edge (src/service/net_transport.h, src/README.md "Remote client edge")
+// reuses the same envelope over sockets — client-driven request/reply:
+//   client -> daemon: Submit, RunCycle, Shutdown
+//   daemon -> client: SubmitReply, CycleReply
+// Each client request carries the virtual-time instant it fires at, so the daemon can
+// replay the sim driver's exact event order (block arrivals at or before the instant first,
+// then the request) and keep remote grants byte-identical to in-process Submit.
 
 #ifndef SRC_SERVICE_MESSAGES_H_
 #define SRC_SERVICE_MESSAGES_H_
@@ -31,7 +39,7 @@
 
 namespace dpack {
 
-inline constexpr uint32_t kServiceWireVersion = 1;
+inline constexpr uint32_t kServiceWireVersion = 2;  // v2: client-edge messages (ISSUE 10).
 
 // Daemon -> worker, once per worker lifetime (first message after fork/respawn): the
 // scheduling configuration every score must be computed under.
@@ -115,12 +123,56 @@ struct HelloMsg {
 };
 
 // Daemon -> worker: exit the serve loop (clean shutdown; workers killed by the crash tests
-// never see it).
+// never see it). Also client -> daemon on the socket edge: stop serving and shut the fleet
+// down cleanly (no reply; the daemon flushes pending replies and exits its serve loop).
 struct ShutdownMsg {};
+
+// Client -> daemon: submit grant requests at virtual-time instant `now` (the tasks' arrival
+// instant; the daemon applies block arrivals <= now first, then funnels every entry through
+// the same admission-controlled GrantService::Submit as in-process callers). Unlike the
+// worker-facing TaskUpsertMsg — which ships already-admitted queue state — entries here are
+// full task payloads including the eviction timeout and the unresolved most-recent-blocks
+// request, because submission (and its late block resolution) has not happened yet.
+struct SubmitMsg {
+  uint64_t seq = 0;  // Echoed in SubmitReplyMsg; lets a pipelining client match replies.
+  double now = 0.0;
+  struct Entry {
+    int64_t id = 0;
+    double weight = 1.0;
+    double arrival_time = 0.0;
+    double timeout = 0.0;  // Raw bits on the wire; +inf = never evicted, as in Task.
+    uint64_t num_recent_blocks = 0;
+    std::vector<double> demand;
+    std::vector<int64_t> blocks;
+  };
+  std::vector<Entry> entries;
+};
+
+// Daemon -> client: per-batch admission outcome (accepted + rejected = entries shipped).
+struct SubmitReplyMsg {
+  uint64_t seq = 0;
+  uint64_t accepted = 0;
+  uint64_t rejected = 0;  // Admission-bound refusals, mirrored in admission_rejects.
+};
+
+// Client -> daemon: run one scheduling cycle at virtual-time instant `now`.
+struct RunCycleMsg {
+  uint64_t seq = 0;
+  double now = 0.0;
+};
+
+// Daemon -> client: the granted task ids of the cycle just run, in grant order — the
+// byte-comparable signal the remote differential proofs diff against in-process runs.
+struct CycleReplyMsg {
+  uint64_t seq = 0;
+  uint64_t cycle = 0;  // 0-based index of the cycle this reply reports.
+  std::vector<int64_t> granted;
+};
 
 using ServiceMessage = std::variant<BindMsg, BlockUpsertMsg, BlockRefreshMsg, TaskUpsertMsg,
                                     StateMsg, ScoreRequestMsg, ScoreReplyMsg, HelloMsg,
-                                    ShutdownMsg>;
+                                    ShutdownMsg, SubmitMsg, SubmitReplyMsg, RunCycleMsg,
+                                    CycleReplyMsg>;
 
 std::string EncodeMessage(const ServiceMessage& message);
 

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/common/sleep.h"
 
 namespace dpack {
 
@@ -59,9 +60,7 @@ bool WorkerEndpoint::Receive(ServiceMessage* out) {
     if (DaemonGone()) {
       return false;
     }
-    if (poll_sleep_us_ > 0) {
-      usleep(poll_sleep_us_);
-    }
+    SleepFullMicros(poll_sleep_us_);
   }
   std::string error;
   return DecodeMessage(frame, out, &error);
@@ -74,9 +73,7 @@ bool WorkerEndpoint::Send(const ServiceMessage& message) {
       return false;
     }
     control_->heartbeat.fetch_add(1, std::memory_order_relaxed);
-    if (poll_sleep_us_ > 0) {
-      usleep(poll_sleep_us_);
-    }
+    SleepFullMicros(poll_sleep_us_);
   }
   return true;
 }
@@ -193,9 +190,7 @@ bool ServiceTransport::Send(size_t w, const ServiceMessage& message) {
     DPACK_CHECK_MSG(stalls < config_.stall_budget,
                     "worker " << w << " stopped draining its ring (stall budget "
                               << config_.stall_budget << " exhausted)");
-    if (config_.poll_sleep_us > 0) {
-      usleep(config_.poll_sleep_us);
-    }
+    SleepFullMicros(config_.poll_sleep_us);
   }
   ++counters_.messages_sent;
   counters_.bytes_sent += frame.size();
@@ -272,9 +267,7 @@ void ServiceTransport::ShutdownAll() {
         Kill(w, SIGKILL);
         break;
       }
-      if (config_.poll_sleep_us > 0) {
-        usleep(config_.poll_sleep_us);
-      }
+      SleepFullMicros(config_.poll_sleep_us);
     }
   }
 }

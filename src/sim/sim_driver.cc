@@ -17,10 +17,8 @@ AlphaGridPtr GridOrDefault(const SimConfig& config) {
   return config.grid != nullptr ? config.grid : AlphaGrid::Default();
 }
 
-// The block-arrival instants this config drives: the explicit schedule when one is set
-// (validated sorted and non-negative), otherwise the fixed-interval process. Both the
-// uninterrupted and the resumed run derive the schedule from the same config, so block
-// arrivals stay bit-identical across a checkpoint split.
+}  // namespace
+
 std::vector<double> BlockArrivalSchedule(const SimConfig& config) {
   if (!config.block_arrival_times.empty()) {
     for (size_t b = 0; b < config.block_arrival_times.size(); ++b) {
@@ -42,8 +40,6 @@ std::vector<double> BlockArrivalSchedule(const SimConfig& config) {
   return schedule;
 }
 
-// The run's scheduling horizon, a function of the FULL workload (a resumed run must derive
-// the same horizon the uninterrupted run used, so it receives the full task vector too).
 double SimulationHorizon(const SimConfig& config, const std::vector<Task>& tasks,
                          const std::vector<double>& block_schedule) {
   double last_arrival = 0.0;
@@ -60,10 +56,6 @@ double SimulationHorizon(const SimConfig& config, const std::vector<Task>& tasks
   return horizon;
 }
 
-// Every cycle instant in [0, horizon], generated by the same repeated addition both the
-// uninterrupted and the resumed run perform — bit-identical instants are what make
-// UpdateUnlocks (and hence grants) reproducible across a split. `next_after_horizon`
-// receives the first accumulated instant past the horizon.
 std::vector<double> CycleInstants(const SimConfig& config, double horizon,
                                   double* next_after_horizon) {
   std::vector<double> instants;
@@ -75,6 +67,8 @@ std::vector<double> CycleInstants(const SimConfig& config, double horizon,
   *next_after_horizon = t;
   return instants;
 }
+
+namespace {
 
 OnlineSchedulerConfig OnlineConfigFor(const SimConfig& config) {
   OnlineSchedulerConfig online_config;

@@ -95,6 +95,29 @@ struct SimResult {
   std::optional<ClusterSnapshot> snapshot;
 };
 
+// The three deterministic schedules RunOnlineSimulation derives from a config — exported so
+// other drivers of the same event semantics (checkpoint resume, and the remote client edge,
+// which replays this exact cycle structure over a socket; see src/service/client.h) compute
+// bit-identical instants from the same config.
+//
+// Block-arrival instants: the explicit schedule when one is set (validated sorted and
+// non-negative), otherwise the fixed-interval process. Both the uninterrupted and the
+// resumed run derive the schedule from the same config, so block arrivals stay
+// bit-identical across a checkpoint split.
+std::vector<double> BlockArrivalSchedule(const SimConfig& config);
+
+// The run's scheduling horizon, a function of the FULL workload (a resumed run must derive
+// the same horizon the uninterrupted run used, so it receives the full task vector too).
+double SimulationHorizon(const SimConfig& config, const std::vector<Task>& tasks,
+                         const std::vector<double>& block_schedule);
+
+// Every cycle instant in [0, horizon], generated by the same repeated addition both the
+// uninterrupted and the resumed run perform — bit-identical instants are what make
+// UpdateUnlocks (and hence grants) reproducible across a split. `next_after_horizon`
+// receives the first accumulated instant past the horizon.
+std::vector<double> CycleInstants(const SimConfig& config, double horizon,
+                                  double* next_after_horizon);
+
 // Runs one online simulation of `scheduler` over `tasks` (arrival times set by the workload
 // generator). Tasks with empty `blocks` and positive `num_recent_blocks` are resolved to the
 // most recent blocks at submission, as in the paper's workloads.

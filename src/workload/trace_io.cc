@@ -1,12 +1,16 @@
 #include "src/workload/trace_io.h"
 
 #include <algorithm>
+#include <cctype>
+#include <cerrno>
 #include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <limits>
 #include <sstream>
 
 #include "src/common/check.h"
+#include "src/common/wire.h"
 
 namespace dpack {
 
@@ -19,6 +23,47 @@ constexpr char kMagicV2[] = "dpack_trace_v2";
 
 // Separator inside the blocks cell: the cell must not contain the CSV delimiter.
 constexpr char kBlockSep = ';';
+
+// Exception-free checked numeric parsing. A bare std::stod/stoll/stoull on a malformed
+// cell ("abc" where a number belongs) throws an uncaught std::invalid_argument — a crash,
+// not the diagnostic rejection the rest of this reader promises. These helpers accept a
+// cell only when strtod/strtoll consume it entirely (no leading whitespace, no trailing
+// junk, no overflow) and otherwise fail through DPACK_CHECK_MSG naming the 1-based row and
+// column, like every other malformed-trace diagnostic here.
+double ParseDoubleCell(const std::string& cell, size_t row, size_t column) {
+  errno = 0;
+  char* end = nullptr;
+  double value = std::strtod(cell.c_str(), &end);
+  bool overflow = errno == ERANGE && (value == HUGE_VAL || value == -HUGE_VAL);
+  DPACK_CHECK_MSG(!cell.empty() && !std::isspace(static_cast<unsigned char>(cell[0])) &&
+                      end == cell.c_str() + cell.size() && !overflow,
+                  "malformed numeric cell at trace row " << row << " column " << column);
+  return value;
+}
+
+int64_t ParseInt64Cell(const std::string& cell, size_t row, size_t column) {
+  errno = 0;
+  char* end = nullptr;
+  long long value = std::strtoll(cell.c_str(), &end, 10);
+  DPACK_CHECK_MSG(!cell.empty() && !std::isspace(static_cast<unsigned char>(cell[0])) &&
+                      end == cell.c_str() + cell.size() && errno != ERANGE,
+                  "malformed integer cell at trace row " << row << " column " << column);
+  return static_cast<int64_t>(value);
+}
+
+uint64_t ParseUint64Cell(const std::string& cell, size_t row, size_t column) {
+  // strtoull silently wraps a leading '-' into a huge positive value, so only digit-pure
+  // cells are even attempted.
+  DPACK_CHECK_MSG(!cell.empty() &&
+                      cell.find_first_not_of("0123456789") == std::string::npos,
+                  "malformed count cell at trace row " << row << " column " << column);
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long value = std::strtoull(cell.c_str(), &end, 10);
+  DPACK_CHECK_MSG(end == cell.c_str() + cell.size() && errno != ERANGE,
+                  "malformed count cell at trace row " << row << " column " << column);
+  return static_cast<uint64_t>(value);
+}
 
 std::vector<std::string> SplitCsvLine(const std::string& line) {
   std::vector<std::string> cells;
@@ -61,6 +106,9 @@ std::vector<BlockId> ParseBlocksCell(const std::string& cell) {
 }  // namespace
 
 bool WriteTrace(std::ostream& os, std::span<const Task> tasks, const AlphaGridPtr& grid) {
+  // Precision 17 roundtrips every double exactly — set before the order header so the
+  // reader's bit-pattern grid check holds for any grid, not just short-decimal orders.
+  os.precision(17);
   os << kMagicV2;
   for (double alpha : grid->orders()) {
     os << "," << alpha;
@@ -71,7 +119,6 @@ bool WriteTrace(std::ostream& os, std::span<const Task> tasks, const AlphaGridPt
     os << ",eps_a" << grid->order(a);
   }
   os << "\n";
-  os.precision(17);
   for (const Task& task : tasks) {
     DPACK_CHECK_MSG(SameGrid(task.demand.grid(), grid), "task grid mismatch");
     os << task.id << "," << task.weight << "," << task.arrival_time << ","
@@ -114,7 +161,12 @@ std::vector<Task> ReadTrace(std::istream& is, const AlphaGridPtr& grid) {
   bool v2 = header[0] == kMagicV2;
   DPACK_CHECK_MSG(header.size() == grid->size() + 1, "trace grid size mismatch");
   for (size_t a = 0; a < grid->size(); ++a) {
-    DPACK_CHECK_MSG(std::stod(header[a + 1]) == grid->order(a), "trace grid order mismatch");
+    // Bit-pattern equality (the snapshot codec's convention): the writer prints orders at
+    // precision 17, which roundtrips doubles exactly, so the reparsed bits must match the
+    // grid's bits exactly — a tolerance here could silently accept a neighboring grid.
+    double parsed = ParseDoubleCell(header[a + 1], /*row=*/1, /*column=*/a + 2);
+    DPACK_CHECK_MSG(BitsOfDouble(parsed) == BitsOfDouble(grid->order(a)),
+                    "trace grid order mismatch");
   }
   DPACK_CHECK_MSG(std::getline(is, line), "missing column header");
   std::vector<std::string> columns = SplitCsvLine(line);
@@ -140,7 +192,9 @@ std::vector<Task> ReadTrace(std::istream& is, const AlphaGridPtr& grid) {
   }
 
   std::vector<Task> tasks;
+  size_t row = 2;  // 1-based file line; the two header lines came first.
   while (std::getline(is, line)) {
+    ++row;
     if (line.empty()) {
       continue;
     }
@@ -151,14 +205,14 @@ std::vector<Task> ReadTrace(std::istream& is, const AlphaGridPtr& grid) {
     DPACK_CHECK_MSG(cells.size() == fixed_columns + grid->size(), "malformed trace row");
     std::vector<double> eps(grid->size());
     for (size_t a = 0; a < grid->size(); ++a) {
-      eps[a] = std::stod(cells[fixed_columns + a]);
+      eps[a] = ParseDoubleCell(cells[fixed_columns + a], row, fixed_columns + a + 1);
     }
-    Task task(static_cast<TaskId>(std::stoll(cells[0])), std::stod(cells[1]),
-              RdpCurve(grid, std::move(eps)));
-    task.arrival_time = std::stod(cells[2]);
-    double timeout = std::stod(cells[3]);
+    Task task(static_cast<TaskId>(ParseInt64Cell(cells[0], row, 1)),
+              ParseDoubleCell(cells[1], row, 2), RdpCurve(grid, std::move(eps)));
+    task.arrival_time = ParseDoubleCell(cells[2], row, 3);
+    double timeout = ParseDoubleCell(cells[3], row, 4);
     task.timeout = timeout < 0.0 ? std::numeric_limits<double>::infinity() : timeout;
-    task.num_recent_blocks = static_cast<size_t>(std::stoull(cells[4]));
+    task.num_recent_blocks = static_cast<size_t>(ParseUint64Cell(cells[4], row, 5));
     if (v2) {
       task.blocks = ParseBlocksCell(cells[5]);
     }

@@ -58,6 +58,18 @@ class FixtureViolations(unittest.TestCase):
                         "--as", "src/workload/order.cc")
         self.assertEqual(proc.returncode, 0, proc.stdout)
 
+    def test_float_equality_reaches_src_workload(self):
+        # Trace readers reparse budget doubles from text, where a bare == against a grid
+        # value is the same representation trap as in the engines — so float-equality's
+        # scope extends to src/workload while the other grant-ordering rules stay out
+        # (test_grant_ordering_rules_scoped_to_grant_dirs above proves the non-widening).
+        proc = run_lint("--fixture",
+                        os.path.join(FIXTURES, "float_equality_violation.cc"),
+                        "--as", "src/workload/trace_cmp.cc")
+        self.assertEqual(proc.returncode, 1,
+                         f"float-equality must fire in src/workload:\n{proc.stdout}")
+        self.assertIn("[float-equality]", proc.stdout)
+
     def test_grant_ordering_rules_cover_the_service(self):
         # The multi-process service is grant-ordering code: the daemon merges scores and
         # the workers replicate scoring, so hash-order and wall-clock leaks there are as

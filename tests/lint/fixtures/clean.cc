@@ -46,6 +46,16 @@ inline bool Feasible(double consumed, double demand, double capacity) {
   return consumed + demand <= capacity + 1e-9 * (1.0 + capacity);
 }
 
+// Scoped-enum dispatch against a Type::kConstant is not a float comparison, even when the
+// member name carries a budget token.
+enum class DemandDistribution { kZipfEpsMin, kCapacityFraction };
+struct CleanSpec {
+  DemandDistribution demand = DemandDistribution::kZipfEpsMin;
+};
+inline bool IsZipf(const CleanSpec& spec) {
+  return spec.demand == DemandDistribution::kZipfEpsMin;
+}
+
 // The annotated wrappers are the sanctioned lock primitives (raw-mutex quiet).
 struct CleanQueue {
   Mutex mu;

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -62,6 +63,38 @@ std::vector<ServiceMessage> SampleMessages() {
   samples.emplace_back(hello);
 
   samples.emplace_back(ShutdownMsg{});
+
+  SubmitMsg submit;
+  submit.seq = 11;
+  submit.now = 3.5;
+  SubmitMsg::Entry submit_entry;
+  submit_entry.id = 77;
+  submit_entry.weight = 2.0;
+  submit_entry.arrival_time = 3.25;
+  submit_entry.timeout = std::numeric_limits<double>::infinity();
+  submit_entry.num_recent_blocks = 5;
+  submit_entry.demand = {0.125, 0.25};
+  submit_entry.blocks = {};
+  submit.entries.push_back(submit_entry);
+  submit.entries.push_back({78, 1.0, 3.5, 10.0, 0, {0.5}, {2, 4}});
+  samples.emplace_back(submit);
+
+  SubmitReplyMsg submit_reply;
+  submit_reply.seq = 11;
+  submit_reply.accepted = 1;
+  submit_reply.rejected = 1;
+  samples.emplace_back(submit_reply);
+
+  RunCycleMsg run_cycle;
+  run_cycle.seq = 12;
+  run_cycle.now = 4.0;
+  samples.emplace_back(run_cycle);
+
+  CycleReplyMsg cycle_reply;
+  cycle_reply.seq = 12;
+  cycle_reply.cycle = 4;
+  cycle_reply.granted = {77, 41};
+  samples.emplace_back(cycle_reply);
   return samples;
 }
 

@@ -208,6 +208,112 @@ TEST(TraceIoDeathTest, RejectsMalformedBlocksCell) {
   }
 }
 
+// Replaces one CSV cell of the trace text, addressed by the same 1-based (row, column)
+// coordinates the reader's malformed-cell diagnostics name.
+std::string ReplaceCell(const std::string& text, size_t row, size_t column,
+                        const std::string& replacement) {
+  std::istringstream lines(text);
+  std::string line, out;
+  size_t r = 0;
+  bool replaced = false;
+  while (std::getline(lines, line)) {
+    if (++r == row) {
+      std::vector<std::string> cells;
+      std::string cell;
+      std::istringstream split(line);
+      while (std::getline(split, cell, ',')) {
+        cells.push_back(cell);
+      }
+      cells.at(column - 1) = replacement;
+      line.clear();
+      for (size_t i = 0; i < cells.size(); ++i) {
+        if (i > 0) {
+          line += ',';
+        }
+        line += cells[i];
+      }
+      replaced = true;
+    }
+    out += line;
+    out += '\n';
+  }
+  EXPECT_TRUE(replaced) << "row " << row << " not present in trace text";
+  return out;
+}
+
+TEST(TraceIoDeathTest, RejectsMalformedNumericCells) {
+  // A bare std::stod on any of these would throw an uncaught exception — a crash, not the
+  // diagnostic rejection malformed traces are promised. Every double-valued column
+  // (weight=2, arrival_time=3, timeout=4, first demand=7) must fail through the checked
+  // parse, naming the exact row and column.
+  std::vector<Task> tasks = SampleWorkload(2);
+  std::stringstream v2;
+  ASSERT_TRUE(WriteTrace(v2, tasks, Grid()));
+  const std::string text = v2.str();
+  for (size_t column : {size_t{2}, size_t{3}, size_t{4}, size_t{7}}) {
+    for (const char* bad : {"abc", "1.5x", " 1.5", "", "1e999"}) {
+      SCOPED_TRACE(std::string("column ") + std::to_string(column) + " cell '" + bad + "'");
+      std::stringstream in(ReplaceCell(text, 3, column, bad));
+      EXPECT_DEATH(ReadTrace(in, Grid()),
+                   "malformed numeric cell at trace row 3 column " + std::to_string(column));
+    }
+  }
+  // The second data row reports its own coordinates.
+  std::stringstream in(ReplaceCell(text, 4, 2, "nope"));
+  EXPECT_DEATH(ReadTrace(in, Grid()), "malformed numeric cell at trace row 4 column 2");
+}
+
+TEST(TraceIoDeathTest, RejectsMalformedIdCell) {
+  std::vector<Task> tasks = SampleWorkload(1);
+  std::stringstream v2;
+  ASSERT_TRUE(WriteTrace(v2, tasks, Grid()));
+  const std::string text = v2.str();
+  // "abc"/"12x"/" 7"/empty are junk; the last is one past int64 max (stoll would throw
+  // std::out_of_range, strtoll reports ERANGE).
+  for (const char* bad : {"abc", "12x", " 7", "", "9223372036854775808"}) {
+    SCOPED_TRACE(std::string("cell '") + bad + "'");
+    std::stringstream in(ReplaceCell(text, 3, 1, bad));
+    EXPECT_DEATH(ReadTrace(in, Grid()), "malformed integer cell at trace row 3 column 1");
+  }
+}
+
+TEST(TraceIoDeathTest, RejectsMalformedCountCell) {
+  std::vector<Task> tasks = SampleWorkload(1);
+  std::stringstream v2;
+  ASSERT_TRUE(WriteTrace(v2, tasks, Grid()));
+  const std::string text = v2.str();
+  // "-1" matters most: strtoull silently wraps it to 18446744073709551615, which would turn
+  // into an absurd most-recent-blocks request instead of a rejection. The last is one past
+  // uint64 max (ERANGE).
+  for (const char* bad : {"-1", "3.5", "abc", "", "18446744073709551616"}) {
+    SCOPED_TRACE(std::string("cell '") + bad + "'");
+    std::stringstream in(ReplaceCell(text, 3, 5, bad));
+    EXPECT_DEATH(ReadTrace(in, Grid()), "malformed count cell at trace row 3 column 5");
+  }
+}
+
+TEST(TraceIoDeathTest, RejectsMalformedGridOrderHeaderCell) {
+  std::vector<Task> tasks = SampleWorkload(1);
+  std::stringstream v2;
+  ASSERT_TRUE(WriteTrace(v2, tasks, Grid()));
+  std::stringstream in(ReplaceCell(v2.str(), 1, 2, "abc"));
+  EXPECT_DEATH(ReadTrace(in, Grid()), "malformed numeric cell at trace row 1 column 2");
+}
+
+TEST(TraceIoDeathTest, RejectsPerturbedGridOrderHeaderCell) {
+  // A syntactically valid order one ulp off the grid's must be rejected by the bit-pattern
+  // comparison — a tolerance here would silently accept a neighboring grid, and every
+  // demand in the file would be charged at the wrong Renyi order.
+  std::vector<Task> tasks = SampleWorkload(1);
+  std::stringstream v2;
+  ASSERT_TRUE(WriteTrace(v2, tasks, Grid()));
+  std::ostringstream perturbed;
+  perturbed.precision(17);
+  perturbed << std::nextafter(Grid()->order(0), std::numeric_limits<double>::infinity());
+  std::stringstream in(ReplaceCell(v2.str(), 1, 2, perturbed.str()));
+  EXPECT_DEATH(ReadTrace(in, Grid()), "trace grid order mismatch");
+}
+
 TEST(TraceIoDeathTest, RejectsReorderedColumnHeader) {
   // The row parse is positional; a header whose fixed columns moved must be rejected, not
   // silently read with a demand or block list pulled from the wrong cell.
